@@ -1,0 +1,104 @@
+// Microbenchmarks of the solver kernels (google-benchmark): dense/sparse
+// LU, one MNA evaluation, one transient step, one shooting-PSS solve.
+#include <benchmark/benchmark.h>
+
+#include "circuit/stdcell.hpp"
+#include "engine/transient.hpp"
+#include "numeric/dense_lu.hpp"
+#include "numeric/rng.hpp"
+#include "numeric/sparse_lu.hpp"
+#include "rf/pss.hpp"
+
+namespace psmn {
+namespace {
+
+RealMatrix randomMatrix(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  RealMatrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+    a(i, i) += 4.0;
+  }
+  return a;
+}
+
+void BM_DenseLuFactor(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const RealMatrix a = randomMatrix(n, n);
+  for (auto _ : state) {
+    DenseLU<Real> lu(a);
+    benchmark::DoNotOptimize(lu);
+  }
+}
+BENCHMARK(BM_DenseLuFactor)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_DenseLuSolve(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const DenseLU<Real> lu(randomMatrix(n, n));
+  RealVector b(n, 1.0);
+  for (auto _ : state) {
+    auto x = lu.solve(b);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_DenseLuSolve)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SparseLuFactor(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(n);
+  RealMatrix dense(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    dense(i, i) = 4.0;
+    for (int k = 0; k < 4; ++k) {
+      const auto j = static_cast<size_t>(rng.uniform(0.0, 1.0) * n);
+      if (j < n) dense(i, j) += rng.uniform(-1.0, 1.0);
+    }
+  }
+  const auto sp = RealSparse::fromDense(dense);
+  for (auto _ : state) {
+    SparseLU<Real> lu(sp);
+    benchmark::DoNotOptimize(lu);
+  }
+}
+BENCHMARK(BM_SparseLuFactor)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_MnaEvalComparator(benchmark::State& state) {
+  Netlist nl;
+  auto kit = ProcessKit::cmos130();
+  buildComparatorTestbench(nl, kit);
+  MnaSystem sys(nl);
+  RealVector x(sys.size(), 0.5);
+  RealVector f, q;
+  RealMatrix g, c;
+  for (auto _ : state) {
+    sys.evalDense(x, 0.0, &f, &q, &g, &c, {});
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_MnaEvalComparator);
+
+void BM_TransientRingOscPeriod(benchmark::State& state) {
+  Netlist nl;
+  auto kit = ProcessKit::cmos130();
+  const auto osc = buildRingOscillator(nl, kit);
+  MnaSystem sys(nl);
+  // Initial state: alternate perturbation to kick the oscillation.
+  RealVector x0(sys.size(), kit.vdd / 2);
+  for (size_t i = 0; i < osc.stages.size(); ++i) {
+    x0[nl.nodeIndex(osc.stages[i])] += (i % 2 ? 0.2 : -0.2);
+  }
+  TranOptions topt;
+  topt.method = IntegrationMethod::kBackwardEuler;
+  topt.initialState = &x0;
+  topt.storeStates = false;
+  for (auto _ : state) {
+    auto tr = runTransient(sys, 0.0, 2e-9, 5e-12, topt);
+    benchmark::DoNotOptimize(tr);
+  }
+}
+BENCHMARK(BM_TransientRingOscPeriod);
+
+}  // namespace
+}  // namespace psmn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Shared helpers for the paper-reproduction benches.
+//
+// Every bench runs standalone with defaults sized for a few minutes total
+// across the suite. The environment variable PSMN_MC_SCALE (e.g. 0.1 or 4)
+// multiplies all Monte-Carlo sample counts for quick smoke runs or
+// paper-strength statistics.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "numeric/types.hpp"
+
+namespace psmn::benchutil {
+
+inline double mcScale() {
+  if (const char* env = std::getenv("PSMN_MC_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0) return s;
+  }
+  return 1.0;
+}
+
+inline size_t scaled(size_t samples) {
+  const auto s = static_cast<size_t>(samples * mcScale());
+  return s < 10 ? 10 : s;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void rule() {
+  std::printf("-------------------------------------------------------------"
+              "-----------------\n");
+}
+
+}  // namespace psmn::benchutil

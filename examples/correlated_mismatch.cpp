@@ -1,0 +1,67 @@
+// Example: correlated mismatch (paper SS III-C, eq. 6).
+//
+// The two resistors of a divider share a spatial gradient: their
+// mismatches are correlated with coefficient rho. The correlated model is
+// declared once and drives both the pseudo-noise analysis (through
+// composite sources built from the Cholesky factor A, C = A A^T) and the
+// Monte-Carlo engine — demonstrating the paper's warning that ignoring
+// correlations misestimates variation.
+#include <cmath>
+#include <cstdio>
+
+#include "circuit/passives.hpp"
+#include "circuit/sources.hpp"
+#include "core/correlated_mismatch.hpp"
+#include "core/monte_carlo.hpp"
+#include "engine/dc.hpp"
+#include "engine/sensitivity.hpp"
+#include "util/units.hpp"
+
+using namespace psmn;
+
+int main() {
+  Netlist nl;
+  const NodeId top = nl.node("top");
+  const NodeId mid = nl.node("mid");
+  nl.add<VSource>("V1", top, kGround, SourceWave::dc(2.0), nl);
+  auto& r1 = nl.add<Resistor>("R1", top, mid, 1e3, nl, /*sigma=*/10.0);
+  auto& r2 = nl.add<Resistor>("R2", mid, kGround, 1e3, nl, /*sigma=*/10.0);
+  MnaSystem sys(nl);
+  const int outIdx = nl.nodeIndex(mid);
+
+  std::printf("divider v(mid): dV/dR1 = -dV/dR2, so correlated R mismatch "
+              "cancels.\n\n%-8s %-22s %-22s\n", "rho",
+              "sigma(vmid) pseudo-noise", "sigma(vmid) Monte-Carlo");
+
+  for (const Real rho : {0.0, 0.5, 0.9, 1.0}) {
+    CorrelatedMismatch corr;
+    corr.addUniformCorrelationGroup({{&r1, 0}, {&r2, 0}}, rho);
+
+    // Pseudo-noise path: composite sources, DC-match flavour.
+    const auto sources =
+        corr.transformSources(sys.collectSources(true, false));
+    const DcResult dc = solveDc(sys);
+    const RealVector sens = solveDcSensitivity(sys, dc.x, outIdx, sources);
+    Real var = 0.0;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      var += sens[i] * sens[i] * sources[i].sigma * sources[i].sigma;
+    }
+
+    // Monte-Carlo path with the same correlation model.
+    McOptions mo;
+    mo.samples = 2000;
+    MonteCarloEngine mc(sys, mo);
+    mc.setCorrelatedMismatch(&corr);
+    const McResult r = mc.run({"v"}, [&](const MnaSystem& s) {
+      return RealVector{solveDc(s).x[outIdx]};
+    });
+
+    std::printf("%-8.2f %-22s %-22s\n", rho,
+                (formatEng(std::sqrt(var), 3) + "V").c_str(),
+                (formatEng(r.sigma(), 3) + "V").c_str());
+  }
+  std::printf("\nAssuming independence when the process is correlated "
+              "over-estimates this\nvariation — the paper's SS III-C point "
+              "about misleading estimates.\n");
+  return 0;
+}

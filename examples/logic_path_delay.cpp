@@ -1,0 +1,52 @@
+// Example: delay variation and delay correlations of the Fig. 7 logic
+// path (paper SS IV-B, V-D, Table I).
+//
+// Shows the edge-delay readout, the eq. 12 correlation between the two
+// outputs, and the eq. 13 variance of the difference — all from a single
+// pseudo-noise run.
+#include <cmath>
+#include <cstdio>
+
+#include "circuit/stdcell.hpp"
+#include "core/correlation.hpp"
+#include "core/mismatch_analysis.hpp"
+#include "util/units.hpp"
+
+using namespace psmn;
+
+int main() {
+  for (const bool xFirst : {true, false}) {
+    Netlist nl;
+    auto kit = ProcessKit::cmos130();
+    LogicPathOptions lo;
+    lo.tRiseX = xFirst ? 1e-9 : 2.5e-9;
+    lo.tRiseY = xFirst ? 2.5e-9 : 1e-9;
+    const LogicPathCircuit lp = buildLogicPath(nl, kit, lo);
+    MnaSystem sys(nl);
+
+    MismatchAnalysisOptions opt;
+    opt.pss.stepsPerPeriod = 800;
+    opt.pss.warmupCycles = 2;
+    TransientMismatchAnalysis analysis(sys, opt);
+    analysis.runDriven(lp.period);
+
+    const Real half = kit.vdd / 2;
+    const VariationResult dA =
+        analysis.edgeDelayVariation(nl.nodeIndex(lp.outA), half, -1);
+    const VariationResult dB =
+        analysis.edgeDelayVariation(nl.nodeIndex(lp.outB), half, -1);
+
+    std::printf("%s:\n", xFirst ? "X rises first (shared gates a,b)"
+                                : "Y rises first (disjoint paths)");
+    std::printf("  sigma(delay A) = %ss, sigma(delay B) = %ss\n",
+                formatEng(dA.sigma(), 3).c_str(),
+                formatEng(dB.sigma(), 3).c_str());
+    std::printf("  correlation (eq. 12)        rho        = %+.3f\n",
+                correlationOf(dA, dB));
+    std::printf("  difference  (eq. 13)        sigma(B-A) = %ss\n\n",
+                formatEng(std::sqrt(differenceVariance(dA, dB)), 3).c_str());
+  }
+  std::printf("paper Table I: rho ~ 0.885 when the critical paths share "
+              "gates a and b,\nrho ~ 0.01 when they are disjoint.\n");
+  return 0;
+}

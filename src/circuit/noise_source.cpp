@@ -1,0 +1,5 @@
+#include "circuit/noise_source.hpp"
+
+// BehavioralMismatch is header-only; this TU anchors its vtable.
+
+namespace psmn {}  // namespace psmn

@@ -1,0 +1,292 @@
+#include "circuit/parser.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "circuit/controlled.hpp"
+#include "circuit/diode.hpp"
+#include "circuit/mosfet.hpp"
+#include "circuit/passives.hpp"
+#include "circuit/sources.hpp"
+#include "util/units.hpp"
+
+namespace psmn {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw NetlistError("netlist line " + std::to_string(line) + ": " + msg);
+}
+
+/// Splits a card into tokens; parentheses and '=' become separators but
+/// function-style groups like PULSE(...) keep their head token.
+std::vector<std::string> tokenize(const std::string& card) {
+  std::vector<std::string> toks;
+  std::string cur;
+  auto push = [&] {
+    if (!cur.empty()) {
+      toks.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (char ch : card) {
+    if (std::isspace(static_cast<unsigned char>(ch)) || ch == '(' ||
+        ch == ')' || ch == ',' || ch == '=') {
+      push();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  push();
+  return toks;
+}
+
+Real number(const std::string& tok, int line) {
+  const auto v = parseSpiceNumber(tok);
+  if (!v) fail(line, "expected a number, got '" + tok + "'");
+  return *v;
+}
+
+struct KeyValues {
+  std::map<std::string, Real> kv;
+  bool has(const std::string& k) const { return kv.count(k) > 0; }
+  Real get(const std::string& k, Real dflt) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : it->second;
+  }
+};
+
+/// Parses trailing "key value" pairs starting at index `start` (tokenize
+/// already split 'key=value' into two tokens).
+KeyValues keyValues(const std::vector<std::string>& toks, size_t start,
+                    int line) {
+  KeyValues out;
+  for (size_t i = start; i + 1 < toks.size(); i += 2) {
+    out.kv[toLower(toks[i])] = number(toks[i + 1], line);
+  }
+  if ((toks.size() - start) % 2 != 0) {
+    fail(line, "dangling token '" + toks.back() + "' in parameter list");
+  }
+  return out;
+}
+
+SourceWave parseWave(const std::vector<std::string>& toks, size_t i,
+                     int line) {
+  if (i >= toks.size()) fail(line, "missing source value");
+  const std::string head = toLower(toks[i]);
+  if (head == "dc") {
+    if (i + 1 >= toks.size()) fail(line, "DC needs a value");
+    return SourceWave::dc(number(toks[i + 1], line));
+  }
+  if (head == "pulse") {
+    if (i + 7 >= toks.size()) fail(line, "PULSE needs 7 arguments");
+    return SourceWave::pulse(
+        number(toks[i + 1], line), number(toks[i + 2], line),
+        number(toks[i + 3], line), number(toks[i + 4], line),
+        number(toks[i + 5], line), number(toks[i + 6], line),
+        number(toks[i + 7], line));
+  }
+  if (head == "sin") {
+    if (i + 3 >= toks.size()) fail(line, "SIN needs >= 3 arguments");
+    const Real off = number(toks[i + 1], line);
+    const Real amp = number(toks[i + 2], line);
+    const Real freq = number(toks[i + 3], line);
+    const Real td = i + 4 < toks.size() ? number(toks[i + 4], line) : 0.0;
+    const Real damp = i + 5 < toks.size() ? number(toks[i + 5], line) : 0.0;
+    return SourceWave::sine(off, amp, freq, td, damp);
+  }
+  if (head == "pwl") {
+    std::vector<Real> ts, vs;
+    for (size_t k = i + 1; k + 1 < toks.size(); k += 2) {
+      ts.push_back(number(toks[k], line));
+      vs.push_back(number(toks[k + 1], line));
+    }
+    if (ts.size() < 2) fail(line, "PWL needs >= 2 points");
+    return SourceWave::pwl(std::move(ts), std::move(vs));
+  }
+  // Bare value -> DC.
+  return SourceWave::dc(number(toks[i], line));
+}
+
+struct ModelSet {
+  std::map<std::string, std::shared_ptr<const MosModel>> mos;
+  std::map<std::string, DiodeModel> diode;
+};
+
+void parseModel(const std::vector<std::string>& toks, int line,
+                ModelSet& models) {
+  if (toks.size() < 3) fail(line, ".model needs a name and a type");
+  const std::string name = toLower(toks[1]);
+  const std::string type = toLower(toks[2]);
+  const KeyValues kv = keyValues(toks, 3, line);
+  if (type == "nmos" || type == "pmos") {
+    auto m = std::make_shared<MosModel>();
+    m->pmos = (type == "pmos");
+    m->kp = kv.get("kp", m->kp);
+    m->vt0 = kv.get("vto", kv.get("vt0", m->vt0));
+    m->lambda = kv.get("lambda", m->lambda);
+    m->gamma = kv.get("gamma", m->gamma);
+    m->phi = kv.get("phi", m->phi);
+    m->cox = kv.get("cox", m->cox);
+    m->cj = kv.get("cj", m->cj);
+    m->cgso = kv.get("cgso", m->cgso);
+    m->cgdo = kv.get("cgdo", m->cgdo);
+    m->avt = kv.get("avt", m->avt);
+    m->abeta = kv.get("abeta", m->abeta);
+    models.mos[name] = std::move(m);
+  } else if (type == "d") {
+    DiodeModel d;
+    d.is = kv.get("is", d.is);
+    d.n = kv.get("n", d.n);
+    d.cj0 = kv.get("cj0", d.cj0);
+    models.diode[name] = d;
+  } else {
+    fail(line, "unknown model type '" + type + "'");
+  }
+}
+
+}  // namespace
+
+ParsedCircuit parseNetlist(std::istream& in) {
+  ParsedCircuit out;
+  out.netlist = std::make_unique<Netlist>();
+  Netlist& nl = *out.netlist;
+  ModelSet models;
+
+  // Read logical cards (handle '+' continuations), remembering line numbers.
+  std::vector<std::pair<int, std::string>> cards;
+  std::string line;
+  int lineNo = 0;
+  bool first = true;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    // Strip comments.
+    for (char cchar : {'*', ';'}) {
+      const auto pos = line.find(cchar);
+      if (pos != std::string::npos &&
+          (cchar == ';' || pos == line.find_first_not_of(" \t"))) {
+        line.erase(pos);
+      }
+    }
+    const auto firstNonWs = line.find_first_not_of(" \t\r");
+    if (firstNonWs == std::string::npos) continue;
+    if (first) {
+      // SPICE convention: the first non-blank line is the title unless it
+      // starts with a device/dot card character we recognize... we keep it
+      // simple: treat it as the title only when it starts with a letter
+      // that is not a known element and contains no digits-only tokens.
+      first = false;
+      const char c0 = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(line[firstNonWs])));
+      if (std::string("rclvieg dm.").find(c0) == std::string::npos) {
+        out.title = line.substr(firstNonWs);
+        continue;
+      }
+    }
+    if (line[firstNonWs] == '+') {
+      if (cards.empty()) fail(lineNo, "continuation with no previous card");
+      cards.back().second += " " + line.substr(firstNonWs + 1);
+    } else {
+      cards.emplace_back(lineNo, line.substr(firstNonWs));
+    }
+  }
+
+  for (const auto& [ln, card] : cards) {
+    const auto toks = tokenize(card);
+    if (toks.empty()) continue;
+    const std::string head = toLower(toks[0]);
+    if (head == ".end") break;
+    if (head == ".title") {
+      out.title = card.substr(card.find_first_of(" \t") + 1);
+      continue;
+    }
+    if (head == ".model") {
+      parseModel(toks, ln, models);
+      continue;
+    }
+    if (head[0] == '.') {
+      AnalysisCard ac;
+      ac.kind = head.substr(1);
+      ac.args.assign(toks.begin() + 1, toks.end());
+      out.analyses.push_back(std::move(ac));
+      continue;
+    }
+
+    const char kind = head[0];
+    auto node = [&](size_t i) -> NodeId {
+      if (i >= toks.size()) fail(ln, "missing node");
+      return nl.node(toks[i]);
+    };
+    switch (kind) {
+      case 'r': {
+        if (toks.size() < 4) fail(ln, "R needs 2 nodes and a value");
+        const KeyValues kv = keyValues(toks, 4, ln);
+        nl.add<Resistor>(toks[0], node(1), node(2), number(toks[3], ln), nl,
+                         kv.get("sigma", 0.0));
+        break;
+      }
+      case 'c': {
+        if (toks.size() < 4) fail(ln, "C needs 2 nodes and a value");
+        const KeyValues kv = keyValues(toks, 4, ln);
+        nl.add<Capacitor>(toks[0], node(1), node(2), number(toks[3], ln), nl,
+                          kv.get("sigma", 0.0));
+        break;
+      }
+      case 'l': {
+        if (toks.size() < 4) fail(ln, "L needs 2 nodes and a value");
+        const KeyValues kv = keyValues(toks, 4, ln);
+        nl.add<Inductor>(toks[0], node(1), node(2), number(toks[3], ln), nl,
+                         kv.get("sigma", 0.0));
+        break;
+      }
+      case 'v':
+        nl.add<VSource>(toks[0], node(1), node(2), parseWave(toks, 3, ln), nl);
+        break;
+      case 'i':
+        nl.add<ISource>(toks[0], node(1), node(2), parseWave(toks, 3, ln), nl);
+        break;
+      case 'e': {
+        if (toks.size() < 6) fail(ln, "E needs 4 nodes and a gain");
+        nl.add<Vcvs>(toks[0], node(1), node(2), node(3), node(4),
+                     number(toks[5], ln), nl);
+        break;
+      }
+      case 'g': {
+        if (toks.size() < 6) fail(ln, "G needs 4 nodes and a gain");
+        nl.add<Vccs>(toks[0], node(1), node(2), node(3), node(4),
+                     number(toks[5], ln), nl);
+        break;
+      }
+      case 'd': {
+        if (toks.size() < 4) fail(ln, "D needs 2 nodes and a model");
+        const auto it = models.diode.find(toLower(toks[3]));
+        if (it == models.diode.end()) {
+          fail(ln, "unknown diode model '" + toks[3] + "'");
+        }
+        nl.add<Diode>(toks[0], node(1), node(2), it->second, nl);
+        break;
+      }
+      case 'm': {
+        if (toks.size() < 6) fail(ln, "M needs 4 nodes and a model");
+        const auto it = models.mos.find(toLower(toks[5]));
+        if (it == models.mos.end()) {
+          fail(ln, "unknown MOS model '" + toks[5] + "'");
+        }
+        const KeyValues kv = keyValues(toks, 6, ln);
+        if (!kv.has("w") || !kv.has("l")) fail(ln, "M needs W= and L=");
+        nl.add<Mosfet>(toks[0], node(1), node(2), node(3), node(4), it->second,
+                       kv.get("w", 0.0), kv.get("l", 0.0), nl);
+        break;
+      }
+      default:
+        fail(ln, "unknown element '" + toks[0] + "'");
+    }
+  }
+  return out;
+}
+
+ParsedCircuit parseNetlistString(const std::string& text) {
+  std::istringstream in(text);
+  return parseNetlist(in);
+}
+
+}  // namespace psmn

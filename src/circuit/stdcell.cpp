@@ -1,0 +1,230 @@
+#include "circuit/stdcell.hpp"
+
+namespace psmn {
+
+ProcessKit ProcessKit::cmos130(Real mismatchScale) {
+  ProcessKit kit;
+  auto nmos = std::make_shared<MosModel>();
+  nmos->pmos = false;
+  nmos->kp = 400e-6;
+  nmos->vt0 = 0.35;
+  nmos->lambda = 0.15;
+  nmos->gamma = 0.30;
+  nmos->phi = 0.8;
+  nmos->cox = 1.5e-2;
+  nmos->cj = 1.0e-3;
+  nmos->cgso = 2.5e-10;
+  nmos->cgdo = 2.5e-10;
+  nmos->avt = 6.5e-9 * mismatchScale;      // 6.5 mV*um
+  nmos->abeta = 3.25e-8 * mismatchScale;   // 3.25 %*um
+
+  auto pmos = std::make_shared<MosModel>(*nmos);
+  pmos->pmos = true;
+  pmos->kp = 100e-6;
+  pmos->vt0 = 0.35;
+  pmos->lambda = 0.20;
+
+  kit.nmos = std::move(nmos);
+  kit.pmos = std::move(pmos);
+  return kit;
+}
+
+InverterCell addInverter(Netlist& nl, const std::string& name, NodeId in,
+                         NodeId out, NodeId vdd, const ProcessKit& kit,
+                         Real wn, Real wp) {
+  InverterCell cell;
+  cell.mp = &nl.add<Mosfet>(name + "p", out, in, vdd, vdd, kit.pmos, wp,
+                            kit.lmin, nl);
+  cell.mn = &nl.add<Mosfet>(name + "n", out, in, kGround, kGround, kit.nmos,
+                            wn, kit.lmin, nl);
+  return cell;
+}
+
+Nand2Cell addNand2(Netlist& nl, const std::string& name, NodeId a, NodeId b,
+                   NodeId out, NodeId vdd, const ProcessKit& kit, Real wn,
+                   Real wp) {
+  Nand2Cell cell;
+  const NodeId mid = nl.node(name + "_mid");
+  cell.mpa = &nl.add<Mosfet>(name + "pa", out, a, vdd, vdd, kit.pmos, wp,
+                             kit.lmin, nl);
+  cell.mpb = &nl.add<Mosfet>(name + "pb", out, b, vdd, vdd, kit.pmos, wp,
+                             kit.lmin, nl);
+  // Series NMOS stack sized 2x for comparable drive.
+  cell.mna = &nl.add<Mosfet>(name + "na", out, a, mid, kGround, kit.nmos,
+                             2.0 * wn, kit.lmin, nl);
+  cell.mnb = &nl.add<Mosfet>(name + "nb", mid, b, kGround, kGround, kit.nmos,
+                             2.0 * wn, kit.lmin, nl);
+  return cell;
+}
+
+Mosfet* ComparatorCircuit::fet(const std::string& name) const {
+  for (Mosfet* f : fets) {
+    if (f->name() == name) return f;
+  }
+  throw Error("comparator has no transistor named '" + name + "'");
+}
+
+ComparatorCircuit buildComparator(Netlist& nl, const ProcessKit& kit,
+                                  NodeId inp, NodeId inn,
+                                  const ComparatorOptions& opt) {
+  ComparatorCircuit c;
+  c.clkPeriod = opt.clkPeriod;
+  c.inp = inp;
+  c.inn = inn;
+  c.vddNode = nl.node("vdd");
+  c.clk = nl.node("clk");
+  c.outp = nl.node("outp");
+  c.outn = nl.node("outn");
+  c.xp = nl.node("xp");
+  c.xn = nl.node("xn");
+  c.tail = nl.node("tail");
+
+  const Real l = kit.lmin;
+  auto& fets = c.fets;
+  // M1: clock tail switch.
+  fets.push_back(&nl.add<Mosfet>("M1", c.tail, c.clk, kGround, kGround,
+                                 kit.nmos, opt.wTail, l, nl));
+  // M2/M3: input differential pair.
+  fets.push_back(&nl.add<Mosfet>("M2", c.xp, inp, c.tail, kGround, kit.nmos,
+                                 opt.wInput, l, nl));
+  fets.push_back(&nl.add<Mosfet>("M3", c.xn, inn, c.tail, kGround, kit.nmos,
+                                 opt.wInput, l, nl));
+  // M4/M5: cross-coupled NMOS of the latch.
+  fets.push_back(&nl.add<Mosfet>("M4", c.outp, c.outn, c.xp, kGround,
+                                 kit.nmos, opt.wNLatch, l, nl));
+  fets.push_back(&nl.add<Mosfet>("M5", c.outn, c.outp, c.xn, kGround,
+                                 kit.nmos, opt.wNLatch, l, nl));
+  // M6/M7: cross-coupled PMOS.
+  fets.push_back(&nl.add<Mosfet>("M6", c.outp, c.outn, c.vddNode, c.vddNode,
+                                 kit.pmos, opt.wPLatch, l, nl));
+  fets.push_back(&nl.add<Mosfet>("M7", c.outn, c.outp, c.vddNode, c.vddNode,
+                                 kit.pmos, opt.wPLatch, l, nl));
+  // M8..M11: precharge switches (clock low).
+  fets.push_back(&nl.add<Mosfet>("M8", c.outp, c.clk, c.vddNode, c.vddNode,
+                                 kit.pmos, opt.wPre, l, nl));
+  fets.push_back(&nl.add<Mosfet>("M9", c.outn, c.clk, c.vddNode, c.vddNode,
+                                 kit.pmos, opt.wPre, l, nl));
+  fets.push_back(&nl.add<Mosfet>("M10", c.xp, c.clk, c.vddNode, c.vddNode,
+                                 kit.pmos, opt.wPre, l, nl));
+  fets.push_back(&nl.add<Mosfet>("M11", c.xn, c.clk, c.vddNode, c.vddNode,
+                                 kit.pmos, opt.wPre, l, nl));
+
+  // Output loading.
+  nl.add<Capacitor>("CLP", c.outp, kGround, opt.cLoad, nl);
+  nl.add<Capacitor>("CLN", c.outn, kGround, opt.cLoad, nl);
+
+  // Supply and clock. Clock edges land on the PSS grid for any step count
+  // that divides 20: rise at [0, T/20], fall at [T/2, T/2 + T/20].
+  nl.add<VSource>("VDD", c.vddNode, kGround, SourceWave::dc(kit.vdd), nl);
+  const Real edge = opt.clkPeriod / 20.0;
+  nl.add<VSource>(
+      "VCLK", c.clk, kGround,
+      SourceWave::pulse(0.0, kit.vdd, 0.0, edge, edge,
+                        opt.clkPeriod / 2.0 - edge, opt.clkPeriod),
+      nl);
+  return c;
+}
+
+ComparatorTestbench buildComparatorTestbench(
+    Netlist& nl, const ProcessKit& kit,
+    const ComparatorTestbenchOptions& opt) {
+  ComparatorTestbench tb;
+  tb.clkPeriod = opt.comparator.clkPeriod;
+  const NodeId inp = nl.node("inp");
+  const NodeId inn = nl.node("inn");
+  tb.vos = nl.node("vos");
+  const NodeId vcm = nl.node("vcm");
+
+  tb.comp = buildComparator(nl, kit, inp, inn, opt.comparator);
+
+  nl.add<VSource>("VCM", vcm, kGround, SourceWave::dc(opt.vcm), nl);
+  // inp = vcm + vos/2, inn = vcm - vos/2 (Fig. 6 input summers).
+  nl.add<Vcvs>("EINP", inp, kGround, nl,
+               std::vector<ControlTerm>{{nl.nodeIndex(vcm), -1, 1.0},
+                                        {nl.nodeIndex(tb.vos), -1, 0.5}});
+  nl.add<Vcvs>("EINN", inn, kGround, nl,
+               std::vector<ControlTerm>{{nl.nodeIndex(vcm), -1, 1.0},
+                                        {nl.nodeIndex(tb.vos), -1, -0.5}});
+  // Integrating feedback: C dVos/dt = K (outp - outn). The StrongARM
+  // output pair is inverting with respect to (inp - inn) — the side with
+  // the higher gate discharges its internal node first and its *output*
+  // goes low — so the restoring direction senses (outn, outp).
+  nl.add<Capacitor>("CINT", tb.vos, kGround, opt.cIntegrator, nl);
+  nl.add<Vccs>("GFB", tb.vos, kGround, nl,
+               std::vector<ControlTerm>{{nl.nodeIndex(tb.comp.outn),
+                                         nl.nodeIndex(tb.comp.outp),
+                                         opt.loopGain}});
+  nl.finalize();
+  tb.vosIndex = nl.nodeIndex(tb.vos);
+  return tb;
+}
+
+LogicPathCircuit buildLogicPath(Netlist& nl, const ProcessKit& kit,
+                                const LogicPathOptions& opt) {
+  LogicPathCircuit lp;
+  lp.period = opt.period;
+  lp.tRiseX = opt.tRiseX;
+  lp.tRiseY = opt.tRiseY;
+  const NodeId vdd = nl.node("vdd");
+  lp.x = nl.node("x");
+  lp.y = nl.node("y");
+  lp.ya = nl.node("ya");
+  lp.yb = nl.node("yb");
+  lp.xe = nl.node("xe");
+  lp.xf = nl.node("xf");
+  lp.outA = nl.node("outa");
+  lp.outB = nl.node("outb");
+
+  if (!nl.find("VDD")) {
+    nl.add<VSource>("VDD", vdd, kGround, SourceWave::dc(kit.vdd), nl);
+  }
+
+  // Y buffer chain (gates a, b) shared by both outputs when X rises first.
+  addInverter(nl, "Ga", lp.y, lp.ya, vdd, kit, opt.wn, opt.wp);
+  addInverter(nl, "Gb", lp.ya, lp.yb, vdd, kit, opt.wn, opt.wp);
+  // X buffer chain (gates e, f) feeding only output B.
+  addInverter(nl, "Ge", lp.x, lp.xe, vdd, kit, opt.wn, opt.wp);
+  addInverter(nl, "Gf", lp.xe, lp.xf, vdd, kit, opt.wn, opt.wp);
+  // Output NANDs (gates c, d).
+  addNand2(nl, "Gc", lp.yb, lp.x, lp.outA, vdd, kit, opt.wn, opt.wp);
+  addNand2(nl, "Gd", lp.yb, lp.xf, lp.outB, vdd, kit, opt.wn, opt.wp);
+
+  nl.add<Capacitor>("CLA", lp.outA, kGround, opt.cLoad, nl);
+  nl.add<Capacitor>("CLB", lp.outB, kGround, opt.cLoad, nl);
+
+  // Periodic inputs: rise at tRise, fall at 70% of the period (long before
+  // the period boundary so edges do not interfere across it, SS IV-B).
+  auto pulseFrom = [&](Real tRise) {
+    return SourceWave::pulse(0.0, kit.vdd, tRise, opt.edgeTime, opt.edgeTime,
+                             0.7 * opt.period - tRise, opt.period);
+  };
+  lp.srcX = &nl.add<VSource>("VX", lp.x, kGround, pulseFrom(opt.tRiseX), nl);
+  lp.srcY = &nl.add<VSource>("VY", lp.y, kGround, pulseFrom(opt.tRiseY), nl);
+  return lp;
+}
+
+RingOscillatorCircuit buildRingOscillator(Netlist& nl, const ProcessKit& kit,
+                                          const RingOscillatorOptions& opt) {
+  PSMN_CHECK(opt.stages >= 3 && opt.stages % 2 == 1,
+             "ring needs an odd stage count >= 3");
+  RingOscillatorCircuit osc;
+  osc.vddNode = nl.node("vdd");
+  if (!nl.find("VDD")) {
+    nl.add<VSource>("VDD", osc.vddNode, kGround, SourceWave::dc(kit.vdd), nl);
+  }
+  for (int i = 0; i < opt.stages; ++i) {
+    osc.stages.push_back(nl.node("osc" + std::to_string(i + 1)));
+  }
+  for (int i = 0; i < opt.stages; ++i) {
+    const NodeId in = osc.stages[i];
+    const NodeId out = osc.stages[(i + 1) % opt.stages];
+    osc.cells.push_back(addInverter(nl, "S" + std::to_string(i + 1), in, out,
+                                    osc.vddNode, kit, opt.wn, opt.wp));
+    nl.add<Capacitor>("CL" + std::to_string(i + 1), out, kGround, opt.cLoad,
+                      nl);
+  }
+  return osc;
+}
+
+
+}  // namespace psmn

@@ -1,0 +1,58 @@
+// Correlated mismatch (paper SS III-C).
+//
+// A group declares a joint covariance matrix (in parameter units^2) over a
+// set of device mismatch parameters. The Cholesky-like factor A with
+// C = A A^T (paper eq. 6) maps independent unit-variance variables xi onto
+// the correlated deltas:
+//   - Monte-Carlo draws xi ~ N(0, I) and applies delta = A xi;
+//   - the pseudo-noise analysis replaces the grouped parameters' individual
+//     sources with one composite InjectionSource per xi_j whose stamp is
+//     sum_i A[i][j] * (dF/dp_i)  — the "linear combination of independent
+//     noise sources" construction of the paper.
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "engine/mna.hpp"
+#include "numeric/cholesky.hpp"
+#include "numeric/rng.hpp"
+
+namespace psmn {
+
+class CorrelatedMismatch {
+ public:
+  struct ParamRef {
+    Device* device = nullptr;
+    size_t index = 0;
+  };
+
+  /// Adds a group with the given covariance (must be symmetric PSD, sized
+  /// params x params). A parameter may belong to at most one group.
+  void addGroup(std::vector<ParamRef> params, const RealMatrix& covariance);
+
+  /// Convenience: uniform pairwise correlation rho among parameters that
+  /// keep their own sigmas (from mismatchParam()).
+  void addUniformCorrelationGroup(std::vector<ParamRef> params, Real rho);
+
+  bool covers(const Device* device, size_t index) const;
+
+  /// Draws all grouped parameters and sets their deltas.
+  void applySample(Rng& rng) const;
+
+  /// Composite sources for the pseudo-noise analysis (one per xi_j), to be
+  /// used together with the *ungrouped* sources from collectSources.
+  std::vector<InjectionSource> compositeSources() const;
+
+  /// Filters a full independent source list: removes sources covered by a
+  /// group and appends the composite ones.
+  std::vector<InjectionSource> transformSources(
+      std::vector<InjectionSource> independent) const;
+
+ private:
+  struct Group {
+    std::vector<ParamRef> params;
+    RealMatrix factor;  // A with C = A A^T
+  };
+  std::vector<Group> groups_;
+};
+
+}  // namespace psmn

@@ -1,0 +1,37 @@
+#include "core/correlation.hpp"
+
+#include <cmath>
+
+namespace psmn {
+
+Real covarianceOf(const VariationResult& a, const VariationResult& b) {
+  PSMN_CHECK(a.sourceNames == b.sourceNames,
+             "covariance requires variations from the same source set");
+  Real acc = 0.0;
+  for (size_t i = 0; i < a.scaledSens.size(); ++i) {
+    acc += a.scaledSens[i] * b.scaledSens[i];
+  }
+  return acc;
+}
+
+Real correlationOf(const VariationResult& a, const VariationResult& b) {
+  const Real denom = a.sigma() * b.sigma();
+  PSMN_CHECK(denom > 0.0, "correlation of a zero-variance quantity");
+  return covarianceOf(a, b) / denom;
+}
+
+Real combinedVariance(const VariationResult& a, const VariationResult& b,
+                      Real ca, Real cb) {
+  return ca * ca * a.variance() + cb * cb * b.variance() +
+         2.0 * ca * cb * covarianceOf(a, b);
+}
+
+Real differenceVariance(const VariationResult& a, const VariationResult& b) {
+  return combinedVariance(a, b, -1.0, 1.0);
+}
+
+Real sumVariance(const VariationResult& a, const VariationResult& b) {
+  return combinedVariance(a, b, 1.0, 1.0);
+}
+
+}  // namespace psmn

@@ -1,0 +1,32 @@
+// Correlations among performance variations (paper SS V-D).
+//
+// Two variations measured from the *same* pseudo-noise run share the same
+// independent source set, so their covariance is the inner product of the
+// signed contribution lists (eq. 12):
+//   cov(A, B) = sum_i (S_{A,i} sigma_i)(S_{B,i} sigma_i)
+// and derived-quantity variances follow without new simulations, e.g. the
+// DNL-style difference (eq. 13):
+//   var(B - A) = var(A) + var(B) - 2 cov(A, B).
+#pragma once
+
+#include "core/mismatch_analysis.hpp"
+
+namespace psmn {
+
+/// Covariance of two variations (eq. 12). Requires matching source lists.
+Real covarianceOf(const VariationResult& a, const VariationResult& b);
+
+/// Pearson correlation coefficient rho = cov / (sigma_a sigma_b).
+Real correlationOf(const VariationResult& a, const VariationResult& b);
+
+/// Variance of the difference (b - a), paper eq. 13.
+Real differenceVariance(const VariationResult& a, const VariationResult& b);
+
+/// Variance of the sum (a + b).
+Real sumVariance(const VariationResult& a, const VariationResult& b);
+
+/// General linear combination ca*a + cb*b.
+Real combinedVariance(const VariationResult& a, const VariationResult& b,
+                      Real ca, Real cb);
+
+}  // namespace psmn

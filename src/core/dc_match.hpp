@@ -1,0 +1,19 @@
+// DC match analysis — the Oehm & Schumacher / Spectre "dcmatch" baseline
+// the paper extends (eq. 1):
+//   sigma_out^2 = sum_i (S_i sigma_i)^2
+// with S_i the DC sensitivities of a DC voltage/current. Works only for
+// quantities measurable at a stable DC operating point; the comparator
+// offset of SS IV-A is exactly the case where it fails and the transient
+// (LPTV) extension is needed.
+#pragma once
+
+#include "core/mismatch_analysis.hpp"
+#include "engine/dc.hpp"
+
+namespace psmn {
+
+/// DC-match analysis of unknown `outIndex` at the DC operating point.
+VariationResult dcMatchAnalysis(const MnaSystem& sys, int outIndex,
+                                const DcOptions& dcOpt = {});
+
+}  // namespace psmn

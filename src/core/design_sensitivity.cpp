@@ -1,0 +1,23 @@
+#include "core/design_sensitivity.hpp"
+
+namespace psmn {
+
+std::vector<WidthSensitivity> widthSensitivities(const Netlist& netlist,
+                                                 const VariationResult& v) {
+  std::vector<WidthSensitivity> out;
+  const Real total = v.variance();
+  for (const auto& dev : netlist.devices()) {
+    const auto* fet = dynamic_cast<const Mosfet*>(dev.get());
+    if (!fet) continue;
+    WidthSensitivity ws;
+    ws.device = fet->name();
+    ws.width = fet->width();
+    ws.varianceShare = v.varianceFromPrefix(fet->name() + ".");
+    ws.dVarianceDWidth = -ws.varianceShare / ws.width;  // eq. 16
+    ws.relativeImpact = total > 0.0 ? ws.varianceShare / total : 0.0;
+    out.push_back(std::move(ws));
+  }
+  return out;
+}
+
+}  // namespace psmn

@@ -1,0 +1,90 @@
+#include "core/gaussian_mixture.hpp"
+
+#include <cmath>
+
+#include "numeric/statistics.hpp"
+
+namespace psmn {
+
+Real MixtureDistribution::pdf(Real x) const {
+  Real acc = 0.0;
+  for (const auto& c : components) {
+    if (c.sigma <= 0.0) continue;
+    acc += c.weight * gaussPdf(x, c.mean, c.sigma);
+  }
+  return acc;
+}
+
+Real MixtureDistribution::mean() const {
+  Real wsum = 0.0, acc = 0.0;
+  for (const auto& c : components) {
+    wsum += c.weight;
+    acc += c.weight * c.mean;
+  }
+  PSMN_CHECK(wsum > 0.0, "empty mixture");
+  return acc / wsum;
+}
+
+Real MixtureDistribution::variance() const {
+  const Real mu = mean();
+  Real wsum = 0.0, acc = 0.0;
+  for (const auto& c : components) {
+    wsum += c.weight;
+    const Real d = c.mean - mu;
+    acc += c.weight * (c.sigma * c.sigma + d * d);
+  }
+  return acc / wsum;
+}
+
+Real MixtureDistribution::sigma() const { return std::sqrt(variance()); }
+
+Real MixtureDistribution::thirdCentralMoment() const {
+  const Real mu = mean();
+  Real wsum = 0.0, acc = 0.0;
+  for (const auto& c : components) {
+    wsum += c.weight;
+    const Real d = c.mean - mu;
+    // E[(X-mu)^3] for a Gaussian component at offset d: d^3 + 3 d sigma^2.
+    acc += c.weight * (d * d * d + 3.0 * d * c.sigma * c.sigma);
+  }
+  return acc / wsum;
+}
+
+Real MixtureDistribution::normalizedSkewness() const {
+  const Real sd = sigma();
+  if (sd <= 0.0) return 0.0;
+  const Real mu3 = thirdCentralMoment();
+  return std::copysign(std::cbrt(std::fabs(mu3)), mu3) / sd;
+}
+
+MixtureDistribution gaussianMixtureAnalysis(
+    Device& device, size_t paramIndex,
+    std::span<const MixtureComponent> paramMixture,
+    const std::function<std::pair<Real, VariationResult>()>& runAndMeasure) {
+  PSMN_CHECK(!paramMixture.empty(), "empty parameter mixture");
+  const MismatchParam param = device.mismatchParam(paramIndex);
+  PSMN_CHECK(param.sigma > 0.0,
+             "mixture analysis requires a parameter with nonzero sigma");
+  const Real savedDelta = device.mismatchDelta(paramIndex);
+
+  MixtureDistribution dist;
+  for (const auto& pc : paramMixture) {
+    device.setMismatchDelta(paramIndex, pc.mean);
+    auto [nominal, variation] = runAndMeasure();
+    // The perturbed parameter's own contribution must use the component's
+    // narrow sigma instead of its full-distribution sigma.
+    Real variance = 0.0;
+    for (size_t i = 0; i < variation.sourceNames.size(); ++i) {
+      Real s = variation.scaledSens[i];
+      if (variation.sourceNames[i] == param.name) {
+        s *= pc.sigma / param.sigma;
+      }
+      variance += s * s;
+    }
+    dist.components.push_back({pc.weight, nominal, std::sqrt(variance)});
+  }
+  device.setMismatchDelta(paramIndex, savedDelta);
+  return dist;
+}
+
+}  // namespace psmn

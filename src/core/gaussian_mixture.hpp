@@ -1,0 +1,50 @@
+// Gaussian-mixture extension for non-Gaussian mismatch (paper SS VIII,
+// Fig. 13).
+//
+// A non-Gaussian parameter distribution is approximated as a mixture of
+// narrow Gaussians. Each component shifts the parameter's nominal value to
+// the component mean, re-runs the PSS + pseudo-noise analysis there (its
+// own local linear perturbation model), and projects the component into
+// performance space. The performance distribution is then the weighted sum
+// of the projected Gaussians — possibly non-Gaussian, at the cost of one
+// PSS simulation per component (exactly the trade-off the paper describes).
+#pragma once
+
+#include <functional>
+
+#include "core/mismatch_analysis.hpp"
+
+namespace psmn {
+
+struct MixtureComponent {
+  Real weight = 1.0;
+  Real mean = 0.0;   // parameter-space mean offset
+  Real sigma = 0.0;  // parameter-space std-dev of this component
+};
+
+/// A distribution in performance space: sum of weighted Gaussians.
+struct MixtureDistribution {
+  std::vector<MixtureComponent> components;  // performance-space components
+
+  Real pdf(Real x) const;
+  Real mean() const;
+  Real variance() const;
+  Real sigma() const;
+  /// Third central moment and the paper's normalized skewness.
+  Real thirdCentralMoment() const;
+  Real normalizedSkewness() const;
+};
+
+/// Runs the mixture analysis for a single non-Gaussian parameter.
+///
+/// `paramMixture` describes the parameter's distribution; `runAndMeasure`
+/// must (re)run the pseudo-noise analysis with the netlist's current
+/// deltas and return {nominal performance, its VariationResult}. The
+/// parameter's own sigma contribution is replaced by each component's
+/// narrow sigma; all other parameters keep their Gaussian model.
+MixtureDistribution gaussianMixtureAnalysis(
+    Device& device, size_t paramIndex,
+    std::span<const MixtureComponent> paramMixture,
+    const std::function<std::pair<Real, VariationResult>()>& runAndMeasure);
+
+}  // namespace psmn

@@ -1,0 +1,70 @@
+#include "core/monte_carlo.hpp"
+
+#include <algorithm>
+
+namespace psmn {
+
+Real McResult::correlationBetween(size_t i, size_t j) const {
+  PSMN_CHECK(!samples.empty(), "sample matrix was not kept");
+  CorrelationAccumulator acc;
+  for (const auto& row : samples) acc.add(row.at(i), row.at(j));
+  return acc.correlation();
+}
+
+RealVector McResult::column(size_t j) const {
+  PSMN_CHECK(!samples.empty(), "sample matrix was not kept");
+  RealVector out;
+  out.reserve(samples.size());
+  for (const auto& row : samples) out.push_back(row.at(j));
+  return out;
+}
+
+MonteCarloEngine::MonteCarloEngine(const MnaSystem& sys, McOptions opt)
+    : sys_(&sys), opt_(opt) {}
+
+McResult MonteCarloEngine::run(std::vector<std::string> names,
+                               const McMeasure& measure) {
+  McResult result;
+  result.names = std::move(names);
+  result.moments.assign(result.names.size(), MomentAccumulator{});
+
+  Netlist& nl = const_cast<Netlist&>(sys_->netlist());
+  const auto params = nl.mismatchParams();
+
+  const auto tStart = std::chrono::steady_clock::now();
+  for (size_t k = 0; k < opt_.samples; ++k) {
+    Rng rng = Rng::forSample(opt_.seed, k);
+    // Independent parameters first (a fixed draw order keeps the stream
+    // deterministic), then the correlated groups.
+    for (const auto& p : params) {
+      if (corr_ && corr_->covers(p.device, p.index)) continue;
+      Real delta = rng.gaussian(0.0, p.param.sigma);
+      // Relative current-factor mismatch cannot physically reach -100%;
+      // truncate the Gaussian tail the way production MC flows do. Only
+      // matters for extreme severity sweeps (Fig. 11/12 at several x the
+      // process mismatch).
+      if (p.param.kind == MismatchKind::kBetaRel) {
+        delta = std::max(delta, -0.95);
+      }
+      p.device->setMismatchDelta(p.index, delta);
+    }
+    if (corr_) corr_->applySample(rng);
+
+    try {
+      const RealVector meas = measure(*sys_);
+      PSMN_CHECK(meas.size() == result.names.size(),
+                 "measurement count mismatch");
+      for (size_t j = 0; j < meas.size(); ++j) result.moments[j].add(meas[j]);
+      if (opt_.keepSamples) result.samples.push_back(meas);
+    } catch (const SampleFailure&) {
+      ++result.failedSamples;
+    }
+    nl.clearMismatch();
+  }
+  result.elapsedSeconds =
+      std::chrono::duration<Real>(std::chrono::steady_clock::now() - tStart)
+          .count();
+  return result;
+}
+
+}  // namespace psmn

@@ -1,0 +1,69 @@
+// Monte-Carlo mismatch analysis — the baseline the paper benchmarks
+// against (SS VI, Table II).
+//
+// Each sample draws every mismatch parameter from N(0, sigma^2) (or from a
+// correlated model, SS III-C), applies the deltas to the devices, runs the
+// caller's measurement (typically a transient simulation + waveform
+// measurement), and accumulates statistics. Sampling is deterministic per
+// (seed, sampleIndex) so results are reproducible.
+#pragma once
+
+#include <chrono>
+#include <functional>
+
+#include "core/correlated_mismatch.hpp"
+#include "engine/mna.hpp"
+#include "numeric/rng.hpp"
+#include "numeric/statistics.hpp"
+
+namespace psmn {
+
+struct McOptions {
+  size_t samples = 1000;
+  uint64_t seed = 1;
+  bool keepSamples = true;  // store the full sample matrix (histograms)
+};
+
+/// Measurement callback: the netlist already carries this sample's mismatch
+/// deltas; returns one value per measured quantity. Throwing SampleFailure
+/// skips the sample (counted separately).
+using McMeasure = std::function<RealVector(const MnaSystem&)>;
+
+class SampleFailure : public Error {
+ public:
+  explicit SampleFailure(const std::string& what) : Error(what) {}
+};
+
+struct McResult {
+  std::vector<std::string> names;
+  std::vector<MomentAccumulator> moments;
+  /// samples[k][j] = measurement j of sample k (when keepSamples).
+  std::vector<RealVector> samples;
+  size_t failedSamples = 0;
+  Real elapsedSeconds = 0.0;
+
+  Real sigma(size_t j = 0) const { return moments.at(j).stddev(); }
+  Real meanOf(size_t j = 0) const { return moments.at(j).mean(); }
+  /// Pearson correlation between two measured quantities.
+  Real correlationBetween(size_t i, size_t j) const;
+  /// One column of the sample matrix.
+  RealVector column(size_t j) const;
+};
+
+class MonteCarloEngine {
+ public:
+  MonteCarloEngine(const MnaSystem& sys, McOptions opt = {});
+
+  /// Optional correlated-mismatch model; parameters covered by it are drawn
+  /// jointly, the rest independently.
+  void setCorrelatedMismatch(const CorrelatedMismatch* corr) { corr_ = corr; }
+
+  McResult run(std::vector<std::string> names, const McMeasure& measure);
+
+ private:
+  const MnaSystem* sys_;
+  McOptions opt_;
+  const CorrelatedMismatch* corr_ = nullptr;
+};
+
+}  // namespace psmn

@@ -1,0 +1,41 @@
+// The mismatch -> pseudo-noise mapping, made inspectable (paper SS III,
+// Fig. 2 step 1, Fig. 3/4).
+//
+// The mechanics of the mapping live in the device mismatch interface
+// (circuit/device.hpp) and MnaSystem::collectSources; this header provides
+// the reporting/validation layer: a human-readable description of every
+// pseudo-noise source and the Pelgrom-model calibration helpers used to
+// reproduce the paper's "3 sigma(IDS) = 14%" process anchor.
+#pragma once
+
+#include "circuit/mosfet.hpp"
+#include "engine/mna.hpp"
+
+namespace psmn {
+
+struct PseudoNoiseSourceInfo {
+  std::string name;
+  std::string kind;       // "vth", "beta", "resistance", ...
+  Real sigma = 0.0;       // parameter std-dev
+  Real psdAt1Hz = 0.0;    // sigma^2 (paper: N^2/f with N^2 = sigma^2)
+  bool areaScaled = false;
+};
+
+/// Describes every mismatch pseudo-noise source in the netlist.
+std::vector<PseudoNoiseSourceInfo> describePseudoNoise(const MnaSystem& sys);
+
+/// One-line-per-source report (examples/quickstart).
+std::string formatPseudoNoiseReport(const MnaSystem& sys);
+
+/// Relative drain-current sigma of a saturated MOSFET under the Pelgrom
+/// model at gate overdrive `veff`:
+///   (sigma_I/I)^2 = (gm/I * sigma_VT)^2 + sigma_beta^2,  gm/I = 2/veff.
+/// Used to calibrate the process so that 3*sigma(IDS) matches the paper.
+Real relativeIdsSigma(const MosModel& model, Real w, Real l, Real veff);
+
+/// Mismatch scale factor that makes 3*sigma(IDS) equal `target3Sigma` for
+/// the given device geometry/overdrive (Fig. 11/12 sweeps).
+Real mismatchScaleFor3SigmaIds(const MosModel& model, Real w, Real l,
+                               Real veff, Real target3Sigma);
+
+}  // namespace psmn

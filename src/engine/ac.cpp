@@ -1,0 +1,70 @@
+#include "engine/ac.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "circuit/sources.hpp"
+#include "numeric/dense_lu.hpp"
+
+namespace psmn {
+
+CplxVector acRhsForVSource(const MnaSystem& sys, const VSource& src) {
+  CplxVector rhs(sys.size(), Cplx{});
+  // Branch equation residual is v(a)-v(b)-V; a unit AC amplitude moves the
+  // residual by -1, i.e. +1 on the right-hand side.
+  PSMN_CHECK(src.branchIndex() >= 0, "source not finalized");
+  rhs[src.branchIndex()] = 1.0;
+  return rhs;
+}
+
+CplxVector acRhsForISource(const MnaSystem& sys, const ISource& src) {
+  CplxVector rhs(sys.size(), Cplx{});
+  if (src.nodeA() >= 0) rhs[src.nodeA()] -= 1.0;
+  if (src.nodeB() >= 0) rhs[src.nodeB()] += 1.0;
+  return rhs;
+}
+
+void linearize(const MnaSystem& sys, std::span<const Real> xop, RealMatrix* g,
+               RealMatrix* c, Real gshunt) {
+  MnaSystem::EvalOptions eopt;
+  eopt.gshunt = gshunt;
+  sys.evalDense(xop, 0.0, nullptr, nullptr, g, c, eopt);
+}
+
+CplxVector solveAc(const RealMatrix& g, const RealMatrix& c, Real freq,
+                   std::span<const Cplx> rhs) {
+  const size_t n = g.rows();
+  PSMN_CHECK(rhs.size() == n, "AC rhs size mismatch");
+  const Cplx jw(0.0, 2.0 * std::numbers::pi_v<Real> * freq);
+  CplxMatrix a(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) a(i, j) = g(i, j) + jw * c(i, j);
+  return DenseLU<Cplx>(a).solve(rhs);
+}
+
+std::vector<CplxVector> solveAcSweep(const MnaSystem& sys,
+                                     std::span<const Real> xop,
+                                     std::span<const Real> freqs,
+                                     std::span<const Cplx> rhs) {
+  RealMatrix g, c;
+  linearize(sys, xop, &g, &c);
+  std::vector<CplxVector> out;
+  out.reserve(freqs.size());
+  for (Real f : freqs) out.push_back(solveAc(g, c, f, rhs));
+  return out;
+}
+
+RealVector logspace(Real fStart, Real fStop, int pointsPerDecade) {
+  PSMN_CHECK(fStart > 0.0 && fStop > fStart && pointsPerDecade > 0,
+             "bad logspace parameters");
+  RealVector fs;
+  const Real decades = std::log10(fStop / fStart);
+  const int count = static_cast<int>(std::ceil(decades * pointsPerDecade)) + 1;
+  for (int i = 0; i < count; ++i) {
+    fs.push_back(fStart *
+                 std::pow(10.0, decades * i / std::max(1, count - 1)));
+  }
+  return fs;
+}
+
+}  // namespace psmn

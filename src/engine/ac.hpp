@@ -1,0 +1,33 @@
+// Small-signal AC analysis around a DC operating point:
+//   (G + j*2*pi*f*C) X = b.
+#pragma once
+
+#include "engine/mna.hpp"
+
+namespace psmn {
+
+class VSource;
+class ISource;
+
+/// Unit AC injection vectors (the SPICE "AC 1" source).
+CplxVector acRhsForVSource(const MnaSystem& sys, const VSource& src);
+CplxVector acRhsForISource(const MnaSystem& sys, const ISource& src);
+
+/// Builds G and C at the operating point xop (sources at time t=0).
+void linearize(const MnaSystem& sys, std::span<const Real> xop, RealMatrix* g,
+               RealMatrix* c, Real gshunt = 0.0);
+
+/// Single-frequency solve.
+CplxVector solveAc(const RealMatrix& g, const RealMatrix& c, Real freq,
+                   std::span<const Cplx> rhs);
+
+/// Frequency sweep; returns one response vector per frequency.
+std::vector<CplxVector> solveAcSweep(const MnaSystem& sys,
+                                     std::span<const Real> xop,
+                                     std::span<const Real> freqs,
+                                     std::span<const Cplx> rhs);
+
+/// Log-spaced frequency grid (decade sweep).
+RealVector logspace(Real fStart, Real fStop, int pointsPerDecade);
+
+}  // namespace psmn

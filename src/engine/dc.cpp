@@ -1,0 +1,104 @@
+#include "engine/dc.hpp"
+
+#include <cmath>
+
+#include "numeric/dense_lu.hpp"
+
+namespace psmn {
+namespace {
+
+Real maxAbsVec(std::span<const Real> v) {
+  Real m = 0.0;
+  for (Real x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+}  // namespace
+
+bool newtonSolve(const MnaSystem& sys, RealVector& x, const DcOptions& opt,
+                 Real sourceScale, Real gshunt, int* iterationsOut) {
+  const size_t n = sys.size();
+  RealVector f;
+  RealMatrix g;
+  MnaSystem::EvalOptions eopt;
+  eopt.sourceScale = sourceScale;
+  eopt.gshunt = gshunt;
+
+  for (int iter = 0; iter < opt.maxIterations; ++iter) {
+    sys.evalDense(x, opt.time, &f, nullptr, &g, nullptr, eopt);
+    const Real resNorm = maxAbsVec(f);
+
+    RealVector dx;
+    try {
+      DenseLU<Real> lu(g);
+      for (Real& v : f) v = -v;
+      dx = lu.solve(f);
+    } catch (const NumericalError&) {
+      return false;
+    }
+
+    // Clamp the Newton step to keep exponential devices in range.
+    const Real stepNorm = maxAbsVec(dx);
+    Real scale = 1.0;
+    if (stepNorm > opt.maxStep) scale = opt.maxStep / stepNorm;
+    for (size_t i = 0; i < n; ++i) x[i] += scale * dx[i];
+
+    if (iterationsOut) *iterationsOut = iter + 1;
+    if (resNorm < opt.residualTol && stepNorm * scale < opt.updateTol) {
+      return true;
+    }
+  }
+  return false;
+}
+
+DcResult solveDc(const MnaSystem& sys, const DcOptions& opt,
+                 const RealVector* initialGuess) {
+  DcResult result;
+  result.x.assign(sys.size(), 0.0);
+  if (initialGuess) {
+    PSMN_CHECK(initialGuess->size() == sys.size(), "bad initial guess size");
+    result.x = *initialGuess;
+  }
+
+  // Plain Newton first.
+  if (newtonSolve(sys, result.x, opt, 1.0, opt.gshunt, &result.iterations)) {
+    return result;
+  }
+
+  // Gmin stepping: solve with a strong shunt, then relax it decade by
+  // decade, warm-starting each rung.
+  if (opt.gminSteps > 0) {
+    RealVector x(sys.size(), 0.0);
+    bool ok = true;
+    Real gshunt = 1e-2;
+    for (int step = 0; step < opt.gminSteps && ok; ++step) {
+      ok = newtonSolve(sys, x, opt, 1.0, gshunt, &result.iterations);
+      gshunt *= 0.1;
+    }
+    // Final solve with the caller's shunt only.
+    if (ok && newtonSolve(sys, x, opt, 1.0, opt.gshunt, &result.iterations)) {
+      result.x = x;
+      result.usedGminStepping = true;
+      return result;
+    }
+  }
+
+  // Source stepping: ramp all independent sources from zero.
+  if (opt.sourceSteps > 0) {
+    RealVector x(sys.size(), 0.0);
+    bool ok = true;
+    for (int step = 1; step <= opt.sourceSteps && ok; ++step) {
+      const Real scale = static_cast<Real>(step) / opt.sourceSteps;
+      ok = newtonSolve(sys, x, opt, scale, opt.gshunt, &result.iterations);
+    }
+    if (ok) {
+      result.x = x;
+      result.usedSourceStepping = true;
+      return result;
+    }
+  }
+
+  throw ConvergenceError("DC operating point failed to converge");
+}
+
+}  // namespace psmn

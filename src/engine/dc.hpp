@@ -1,0 +1,37 @@
+// DC operating-point solver: damped Newton with gmin-stepping and
+// source-stepping homotopies as fallbacks.
+#pragma once
+
+#include "engine/mna.hpp"
+
+namespace psmn {
+
+struct DcOptions {
+  int maxIterations = 150;
+  Real residualTol = 1e-9;   // max |f| (A)
+  Real updateTol = 1e-9;     // max |dx| (V / A)
+  Real maxStep = 0.5;        // Newton step clamp (V per iteration)
+  Real gshunt = 0.0;         // extra shunt held during the solve
+  Real time = 0.0;           // sources evaluated at this time
+  int gminSteps = 12;        // homotopy ladder length (0 disables)
+  int sourceSteps = 10;      // source-stepping ladder (0 disables)
+  bool quiet = true;
+};
+
+struct DcResult {
+  RealVector x;
+  int iterations = 0;
+  bool usedGminStepping = false;
+  bool usedSourceStepping = false;
+};
+
+/// Solves f(x, t) = 0. Throws ConvergenceError if all strategies fail.
+DcResult solveDc(const MnaSystem& sys, const DcOptions& opt = {},
+                 const RealVector* initialGuess = nullptr);
+
+/// Raw damped-Newton kernel used by solveDc and the transient engine.
+/// Returns false instead of throwing when Newton stalls.
+bool newtonSolve(const MnaSystem& sys, RealVector& x, const DcOptions& opt,
+                 Real sourceScale, Real gshunt, int* iterationsOut = nullptr);
+
+}  // namespace psmn

@@ -1,0 +1,120 @@
+#include "engine/mna.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psmn {
+
+MnaSystem::MnaSystem(Netlist& netlist) : netlist_(&netlist) {
+  netlist.finalize();
+  n_ = netlist.unknownCount();
+  nodeUnknowns_ = netlist.nodeCount() - 1;
+  PSMN_CHECK(n_ > 0, "empty netlist");
+}
+
+void MnaSystem::evalDense(std::span<const Real> x, Real t, RealVector* f,
+                          RealVector* q, RealMatrix* g, RealMatrix* c,
+                          const EvalOptions& opt) const {
+  PSMN_CHECK(x.size() == n_, "state size mismatch");
+  if (f) f->assign(n_, 0.0);
+  if (q) q->assign(n_, 0.0);
+  if (g) g->resize(n_, n_);
+  if (c) c->resize(n_, n_);
+
+  Stamper s(x, t, n_);
+  s.attachVectors(f, q);
+  s.attachDense(g, c);
+  s.setSourceScale(opt.sourceScale);
+  s.setGmin(opt.gmin);
+  for (const auto& dev : netlist_->devices()) dev->eval(s);
+
+  if (opt.gshunt > 0.0) {
+    for (size_t i = 0; i < nodeUnknowns_; ++i) {
+      if (f) (*f)[i] += opt.gshunt * x[i];
+      if (g) (*g)(i, i) += opt.gshunt;
+    }
+  }
+}
+
+void MnaSystem::evalInjection(const InjectionSource& src,
+                              std::span<const Real> x, Real t, RealVector* bf,
+                              RealVector* bq) const {
+  PSMN_CHECK(x.size() == n_, "state size mismatch");
+  if (bf) bf->assign(n_, 0.0);
+  if (bq) bq->assign(n_, 0.0);
+  PSMN_CHECK(!src.components.empty(), "injection source has no components");
+
+  RealVector tmpF, tmpQ;
+  for (const auto& comp : src.components) {
+    PSMN_CHECK(comp.device != nullptr, "injection component has no device");
+    if (src.kind == InjectionSource::Kind::kMismatch) {
+      if (bf) {
+        tmpF.assign(n_, 0.0);
+        Stamper s(x, t, n_);
+        s.attachVectors(&tmpF, nullptr);
+        comp.device->mismatchStampF(comp.index, s);
+        for (size_t i = 0; i < n_; ++i) (*bf)[i] += comp.weight * tmpF[i];
+      }
+      if (bq) {
+        tmpQ.assign(n_, 0.0);
+        Stamper s(x, t, n_);
+        s.attachVectors(nullptr, &tmpQ);
+        comp.device->mismatchStampQ(comp.index, s);
+        for (size_t i = 0; i < n_; ++i) (*bq)[i] += comp.weight * tmpQ[i];
+      }
+    } else if (bf) {
+      tmpF.assign(n_, 0.0);
+      Stamper s(x, t, n_);
+      s.attachVectors(&tmpF, nullptr);
+      comp.device->noiseStamp(comp.index, s);
+      for (size_t i = 0; i < n_; ++i) (*bf)[i] += comp.weight * tmpF[i];
+      // Physical noise sources are current injections only (no charge part).
+    }
+  }
+}
+
+std::vector<InjectionSource> MnaSystem::collectSources(
+    bool includeMismatch, bool includePhysical) const {
+  std::vector<InjectionSource> out;
+  if (includeMismatch) {
+    for (const auto& ref : netlist_->mismatchParams()) {
+      InjectionSource s;
+      s.kind = InjectionSource::Kind::kMismatch;
+      s.name = ref.param.name;
+      s.components = {{ref.device, ref.index, 1.0}};
+      s.sigma = ref.param.sigma;
+      s.mkind = ref.param.kind;
+      out.push_back(std::move(s));
+    }
+  }
+  if (includePhysical) {
+    for (const auto& ref : netlist_->noiseSources()) {
+      InjectionSource s;
+      s.kind = ref.desc.kind == NoiseKind::kWhite
+                   ? InjectionSource::Kind::kPhysicalWhite
+                   : InjectionSource::Kind::kPhysicalFlicker;
+      s.name = ref.desc.name;
+      s.components = {{ref.device, ref.index, 1.0}};
+      s.sigma = 1.0;
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+std::vector<Real> MnaSystem::collectBreakpoints(Real t0, Real t1) const {
+  std::vector<Real> bps;
+  for (const auto& dev : netlist_->devices()) {
+    dev->collectBreakpoints(t0, t1, bps);
+  }
+  std::sort(bps.begin(), bps.end());
+  // Merge breakpoints closer than a relative epsilon.
+  const Real eps = 1e-12 * std::max(std::fabs(t0), std::fabs(t1)) + 1e-21;
+  std::vector<Real> out;
+  for (Real t : bps) {
+    if (out.empty() || t - out.back() > eps) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace psmn

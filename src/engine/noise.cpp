@@ -1,0 +1,89 @@
+#include "engine/noise.hpp"
+
+#include <numbers>
+
+#include "engine/ac.hpp"
+#include "numeric/dense_lu.hpp"
+
+namespace psmn {
+namespace {
+
+CplxMatrix acMatrix(const MnaSystem& sys, std::span<const Real> xop,
+                    Real freq) {
+  RealMatrix g, c;
+  linearize(sys, xop, &g, &c);
+  const size_t n = g.rows();
+  const Cplx jw(0.0, 2.0 * std::numbers::pi_v<Real> * freq);
+  CplxMatrix a(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) a(i, j) = g(i, j) + jw * c(i, j);
+  return a;
+}
+
+/// Injection rhs for a source at the operating point: b = -dF/dp (static
+/// part) - jw * dQ/dp (charge part).
+CplxVector injectionRhs(const MnaSystem& sys, const InjectionSource& src,
+                        std::span<const Real> xop, Real freq) {
+  RealVector bf, bq;
+  sys.evalInjection(src, xop, 0.0, &bf, &bq);
+  const Cplx jw(0.0, 2.0 * std::numbers::pi_v<Real> * freq);
+  CplxVector b(bf.size());
+  for (size_t i = 0; i < bf.size(); ++i) b[i] = -bf[i] - jw * bq[i];
+  return b;
+}
+
+}  // namespace
+
+NoiseResult solveNoise(const MnaSystem& sys, std::span<const Real> xop,
+                       int outIndex, Real freq,
+                       std::span<const InjectionSource> sources) {
+  PSMN_CHECK(outIndex >= 0 && outIndex < static_cast<int>(sys.size()),
+             "bad output index");
+  const CplxMatrix a = acMatrix(sys, xop, freq);
+  DenseLU<Cplx> lu(a);
+
+  // Adjoint: A^T lambda = e_out, then TF_i = lambda^T b_i.
+  CplxVector eout(sys.size(), Cplx{});
+  eout[outIndex] = 1.0;
+  const CplxVector lambda = lu.solveTransposed(eout);
+
+  NoiseResult result;
+  for (const auto& src : sources) {
+    const CplxVector b = injectionRhs(sys, src, xop, freq);
+    Cplx tf{};
+    for (size_t i = 0; i < b.size(); ++i) tf += lambda[i] * b[i];
+    NoiseContribution nc;
+    nc.name = src.name;
+    nc.transfer = tf;
+    nc.sourcePsd = src.psd(freq);
+    nc.psd = std::norm(tf) * nc.sourcePsd;
+    result.totalPsd += nc.psd;
+    result.contributions.push_back(std::move(nc));
+  }
+  return result;
+}
+
+NoiseResult solveNoiseDirect(const MnaSystem& sys, std::span<const Real> xop,
+                             int outIndex, Real freq,
+                             std::span<const InjectionSource> sources) {
+  PSMN_CHECK(outIndex >= 0 && outIndex < static_cast<int>(sys.size()),
+             "bad output index");
+  const CplxMatrix a = acMatrix(sys, xop, freq);
+  DenseLU<Cplx> lu(a);
+
+  NoiseResult result;
+  for (const auto& src : sources) {
+    const CplxVector b = injectionRhs(sys, src, xop, freq);
+    const CplxVector x = lu.solve(b);
+    NoiseContribution nc;
+    nc.name = src.name;
+    nc.transfer = x[outIndex];
+    nc.sourcePsd = src.psd(freq);
+    nc.psd = std::norm(nc.transfer) * nc.sourcePsd;
+    result.totalPsd += nc.psd;
+    result.contributions.push_back(std::move(nc));
+  }
+  return result;
+}
+
+}  // namespace psmn

@@ -1,0 +1,37 @@
+// Linear time-invariant noise analysis (SPICE .NOISE) at a DC operating
+// point, with per-source contribution breakdown.
+//
+// When run with the mismatch pseudo-noise sources at f = 1 Hz this *is* the
+// classic DC-match analysis of Oehm & Schumacher (paper eq. 1): the output
+// "noise PSD" equals the variance of the DC quantity. The transient
+// extension (paper's contribution) lives in rf/pnoise.hpp.
+#pragma once
+
+#include "engine/mna.hpp"
+
+namespace psmn {
+
+struct NoiseContribution {
+  std::string name;
+  Real psd = 0.0;       // contribution to the output PSD (V^2/Hz)
+  Cplx transfer{};      // complex transfer from source to output
+  Real sourcePsd = 0.0; // stationary source PSD at the analysis frequency
+};
+
+struct NoiseResult {
+  Real totalPsd = 0.0;
+  std::vector<NoiseContribution> contributions;
+};
+
+/// Adjoint LTI noise analysis: one transposed solve gives the transfer from
+/// every source to the output unknown `outIndex`.
+NoiseResult solveNoise(const MnaSystem& sys, std::span<const Real> xop,
+                       int outIndex, Real freq,
+                       std::span<const InjectionSource> sources);
+
+/// Direct (per-source) variant; used to cross-check the adjoint in tests.
+NoiseResult solveNoiseDirect(const MnaSystem& sys, std::span<const Real> xop,
+                             int outIndex, Real freq,
+                             std::span<const InjectionSource> sources);
+
+}  // namespace psmn

@@ -1,0 +1,21 @@
+// DC sensitivity analysis (SPICE .SENS) via the adjoint method:
+//   f(x, p) = 0  =>  dx/dp = -G^{-1} (df/dp),
+// and for a single output y = x[out]:
+//   dy/dp_i = -lambda^T (df/dp_i)  with  G^T lambda = e_out.
+#pragma once
+
+#include "engine/mna.hpp"
+
+namespace psmn {
+
+/// dx[out]/dp for each source (mismatch parameter), one adjoint solve total.
+RealVector solveDcSensitivity(const MnaSystem& sys, std::span<const Real> xop,
+                              int outIndex,
+                              std::span<const InjectionSource> sources);
+
+/// Direct method (one solve per parameter); cross-check for tests.
+RealVector solveDcSensitivityDirect(const MnaSystem& sys,
+                                    std::span<const Real> xop, int outIndex,
+                                    std::span<const InjectionSource> sources);
+
+}  // namespace psmn

@@ -1,0 +1,242 @@
+#include "engine/transient.hpp"
+
+#include <cmath>
+
+#include "numeric/dense_lu.hpp"
+#include "util/units.hpp"
+
+namespace psmn {
+namespace {
+
+Real maxAbsVec(std::span<const Real> v) {
+  Real m = 0.0;
+  for (Real x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+}  // namespace
+
+RealVector TransientResult::waveform(int mnaIndex) const {
+  PSMN_CHECK(mnaIndex >= 0, "waveform of ground requested");
+  RealVector w(states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    w[i] = states[i][static_cast<size_t>(mnaIndex)];
+  }
+  return w;
+}
+
+bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
+                   Real t, Real h, RealVector& x, RealVector& q,
+                   RealVector& qd, const RealVector* qm1,
+                   const TranOptions& opt, size_t* newtonCount) {
+  const size_t n = sys.size();
+  const Real t1 = t + h;
+  IntegrationMethod m = beStep ? IntegrationMethod::kBackwardEuler : method;
+  if (m == IntegrationMethod::kGear2 && qm1 == nullptr) {
+    m = IntegrationMethod::kBackwardEuler;
+  }
+
+  // Integration coefficients: R = f1 + a*q1 + rhsQ, J = G1 + a*C1.
+  Real a = 0.0;
+  RealVector rhsQ(n, 0.0);
+  switch (m) {
+    case IntegrationMethod::kBackwardEuler:
+      a = 1.0 / h;
+      for (size_t i = 0; i < n; ++i) rhsQ[i] = -q[i] / h;
+      break;
+    case IntegrationMethod::kTrapezoidal:
+      a = 2.0 / h;
+      for (size_t i = 0; i < n; ++i) rhsQ[i] = -2.0 * q[i] / h - qd[i];
+      break;
+    case IntegrationMethod::kGear2:
+      a = 1.5 / h;
+      for (size_t i = 0; i < n; ++i) {
+        rhsQ[i] = (-4.0 * q[i] + (*qm1)[i]) / (2.0 * h);
+      }
+      break;
+  }
+
+  RealVector x1 = x;  // predictor: previous point
+  RealVector f, q1;
+  RealMatrix g, c;
+  MnaSystem::EvalOptions eopt;
+  eopt.gshunt = opt.gshunt;
+
+  bool converged = false;
+  for (int iter = 0; iter < opt.maxNewton; ++iter) {
+    sys.evalDense(x1, t1, &f, &q1, &g, &c, eopt);
+    RealVector r(n);
+    for (size_t i = 0; i < n; ++i) r[i] = f[i] + a * q1[i] + rhsQ[i];
+    const Real resNorm = maxAbsVec(r);
+    // J = G + a*C.
+    for (size_t i = 0; i < n; ++i) {
+      auto grow = g.row(i);
+      const auto crow = c.row(i);
+      for (size_t j = 0; j < n; ++j) grow[j] += a * crow[j];
+    }
+    RealVector dx;
+    try {
+      DenseLU<Real> lu(g);
+      for (Real& v : r) v = -v;
+      dx = lu.solve(r);
+    } catch (const NumericalError&) {
+      return false;
+    }
+    const Real stepNorm = maxAbsVec(dx);
+    Real scale = 1.0;
+    if (stepNorm > opt.maxStep) scale = opt.maxStep / stepNorm;
+    for (size_t i = 0; i < n; ++i) x1[i] += scale * dx[i];
+    if (newtonCount) ++*newtonCount;
+    if (resNorm < opt.residualTol && stepNorm * scale < opt.updateTol) {
+      converged = true;
+      break;
+    }
+  }
+  if (!converged) return false;
+
+  // Accept: recompute q at the accepted point and update the charge state.
+  sys.evalDense(x1, t1, nullptr, &q1, nullptr, nullptr, eopt);
+  RealVector qd1(n);
+  switch (m) {
+    case IntegrationMethod::kBackwardEuler:
+      for (size_t i = 0; i < n; ++i) qd1[i] = (q1[i] - q[i]) / h;
+      break;
+    case IntegrationMethod::kTrapezoidal:
+      for (size_t i = 0; i < n; ++i) qd1[i] = 2.0 * (q1[i] - q[i]) / h - qd[i];
+      break;
+    case IntegrationMethod::kGear2:
+      for (size_t i = 0; i < n; ++i) {
+        qd1[i] = (3.0 * q1[i] - 4.0 * q[i] + (*qm1)[i]) / (2.0 * h);
+      }
+      break;
+  }
+  x = std::move(x1);
+  q = std::move(q1);
+  qd = std::move(qd1);
+  return true;
+}
+
+TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
+                             const TranOptions& opt) {
+  PSMN_CHECK(t1 > t0 && dt > 0.0, "bad transient window");
+  const size_t n = sys.size();
+  TransientResult result;
+
+  // Initial state: DC operating point unless an explicit state is given.
+  RealVector x;
+  if (opt.initialState) {
+    PSMN_CHECK(opt.initialState->size() == n, "bad initial state size");
+    x = *opt.initialState;
+  } else {
+    DcOptions dopt;
+    dopt.time = t0;
+    dopt.gshunt = opt.gshunt;
+    x = solveDc(sys, dopt).x;
+  }
+  RealVector q;
+  sys.evalDense(x, t0, nullptr, &q, nullptr, nullptr, {});
+  RealVector qd(n, 0.0);
+  RealVector qPrev;  // q at the pre-previous accepted point (Gear2)
+  bool havePrev = false;
+
+  if (opt.storeStates) {
+    result.times.push_back(t0);
+    result.states.push_back(x);
+  }
+
+  // Segment the window at breakpoints; merge stops closer than a fraction
+  // of the nominal step (a breakpoint coinciding with t1 would otherwise
+  // create a degenerate femtosecond segment).
+  std::vector<Real> stops;
+  if (opt.useBreakpoints) {
+    for (Real bp : sys.collectBreakpoints(t0, t1)) {
+      if (bp < t1 - 1e-3 * dt &&
+          (stops.empty() || bp - stops.back() > 1e-3 * dt)) {
+        stops.push_back(bp);
+      }
+    }
+  }
+  stops.push_back(t1);
+
+  const Real dtMin = opt.dtMin > 0.0 ? opt.dtMin : dt * 1e-6;
+  const Real dtMax = opt.dtMax > 0.0 ? opt.dtMax : dt * 4.0;
+
+  Real t = t0;
+  Real h = dt;
+  bool forceBE = true;  // first step and first step after each breakpoint
+  for (Real stop : stops) {
+    if (stop <= t) continue;
+    if (!opt.adaptive) {
+      // Uniform grid within the segment.
+      const auto count = static_cast<size_t>(
+          std::max<Real>(1.0, std::ceil((stop - t) / dt - 1e-9)));
+      const Real hseg = (stop - t) / static_cast<Real>(count);
+      for (size_t k = 0; k < count; ++k) {
+        RealVector qSave = q;
+        if (!integrateStep(sys, opt.method, forceBE, t, hseg, x, q, qd,
+                           havePrev ? &qPrev : nullptr, opt,
+                           &result.newtonIterations)) {
+          throw ConvergenceError("transient Newton failed at t=" +
+                                 formatEng(t + hseg) + "s");
+        }
+        qPrev = std::move(qSave);
+        havePrev = true;
+        forceBE = false;
+        t += hseg;
+        ++result.steps;
+        if (opt.storeStates) {
+          result.times.push_back(t);
+          result.states.push_back(x);
+        }
+      }
+    } else {
+      while (t < stop - 1e-15 * (t1 - t0)) {
+        Real hTry = std::min({h, dtMax, stop - t});
+        hTry = std::max(hTry, dtMin);
+        RealVector xSave = x, qSave = q, qdSave = qd;
+        bool ok = integrateStep(sys, opt.method, forceBE, t, hTry, x, q, qd,
+                                havePrev ? &qPrev : nullptr, opt,
+                                &result.newtonIterations);
+        Real err = 0.0;
+        if (ok) {
+          // Step-size control from the local charge-derivative change; a
+          // cheap curvature proxy that needs no extra evaluations.
+          for (size_t i = 0; i < n; ++i) {
+            const Real dqd = std::fabs(qd[i] - qdSave[i]) * hTry;
+            const Real scale = opt.reltol * std::fabs(q[i]) + opt.abstol;
+            err = std::max(err, dqd / scale);
+          }
+        }
+        if (!ok || (err > 2.0 && hTry > dtMin * 1.01)) {
+          // Reject and retry with half the step.
+          x = std::move(xSave);
+          q = std::move(qSave);
+          qd = std::move(qdSave);
+          h = std::max(hTry * 0.5, dtMin);
+          if (!ok && hTry <= dtMin * 1.01) {
+            throw ConvergenceError("transient Newton failed at minimum step");
+          }
+          continue;
+        }
+        qPrev = std::move(qSave);
+        havePrev = true;
+        forceBE = false;
+        t += hTry;
+        ++result.steps;
+        if (opt.storeStates) {
+          result.times.push_back(t);
+          result.states.push_back(x);
+        }
+        if (err < 0.5) h = std::min(hTry * 1.5, dtMax);
+        else h = hTry;
+      }
+    }
+    forceBE = true;  // restart the integrator after each breakpoint
+    havePrev = false;
+  }
+
+  result.finalState = std::move(x);
+  return result;
+}
+
+}  // namespace psmn

@@ -1,0 +1,59 @@
+// Transient analysis.
+//
+// Integrates f(x,t) + dq/dt = 0 with backward-Euler, trapezoidal, or
+// 2nd-order Gear, in the "charge-state" formulation: the integrator tracks
+// (x, q, qdot) so purely algebraic equations stay exact under trapezoidal
+// integration (no DAE ringing) and breakpoints restart cleanly with a BE
+// step.
+#pragma once
+
+#include "engine/dc.hpp"
+#include "engine/mna.hpp"
+
+namespace psmn {
+
+enum class IntegrationMethod { kBackwardEuler, kTrapezoidal, kGear2 };
+
+struct TranOptions {
+  IntegrationMethod method = IntegrationMethod::kTrapezoidal;
+  int maxNewton = 60;
+  Real residualTol = 1e-9;
+  Real updateTol = 1e-9;
+  Real maxStep = 0.5;  // Newton dx clamp (V); vital for regenerative latches
+  Real gshunt = 0.0;
+  bool useBreakpoints = true;
+  bool storeStates = true;
+  /// Adaptive timestep control (fixed grid when false). The nominal dt is
+  /// the starting step; it shrinks/grows within [dtMin, dtMax].
+  bool adaptive = false;
+  Real reltol = 1e-3;
+  Real abstol = 1e-6;
+  Real dtMin = 0.0;   // 0 -> dt/1e6
+  Real dtMax = 0.0;   // 0 -> 4*dt
+  /// Start from this state instead of a DC solve (SPICE "UIC").
+  const RealVector* initialState = nullptr;
+};
+
+struct TransientResult {
+  std::vector<Real> times;
+  std::vector<RealVector> states;  // one state per accepted time point
+  RealVector finalState;
+  size_t newtonIterations = 0;  // total, for cost reporting
+  size_t steps = 0;
+
+  /// Extracts the waveform of one MNA unknown.
+  RealVector waveform(int mnaIndex) const;
+};
+
+TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
+                             const TranOptions& opt = {});
+
+/// Single integration step from (x0,q0,qd0,t) to t+h; updates all three.
+/// `beStep` forces backward Euler (first step, post-breakpoint). Returns
+/// false if Newton failed. qm1 is q at the pre-previous point (Gear2).
+bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
+                   Real t, Real h, RealVector& x, RealVector& q,
+                   RealVector& qd, const RealVector* qm1,
+                   const TranOptions& opt, size_t* newtonCount = nullptr);
+
+}  // namespace psmn

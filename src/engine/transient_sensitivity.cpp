@@ -1,0 +1,139 @@
+#include "engine/transient_sensitivity.hpp"
+
+#include <cmath>
+
+#include "engine/dc.hpp"
+#include "numeric/dense_lu.hpp"
+#include "numeric/interp.hpp"
+
+namespace psmn {
+
+TransientSensitivityResult runTransientSensitivity(
+    const MnaSystem& sys, Real t0, Real t1, Real dt,
+    std::span<const InjectionSource> sources, const TranOptions& opt) {
+  PSMN_CHECK(t1 > t0 && dt > 0.0, "bad transient window");
+  const size_t n = sys.size();
+  const size_t ns = sources.size();
+  TransientSensitivityResult result;
+
+  // Initial state: DC operating point (or caller-provided), with initial
+  // sensitivities from the DC system: G s = -df/dp.
+  RealVector x;
+  if (opt.initialState) {
+    x = *opt.initialState;
+  } else {
+    DcOptions dopt;
+    dopt.time = t0;
+    x = solveDc(sys, dopt).x;
+  }
+  RealVector f, q, bf, bq;
+  RealMatrix g, c;
+  sys.evalDense(x, t0, nullptr, &q, &g, nullptr, {});
+  std::vector<RealVector> s(ns, RealVector(n, 0.0));
+  std::vector<RealVector> qp(ns, RealVector(n, 0.0));  // dq/dp at t
+  {
+    DenseLU<Real> lu(g);
+    ++result.luFactorizations;
+    for (size_t i = 0; i < ns; ++i) {
+      sys.evalInjection(sources[i], x, t0, &bf, &bq);
+      for (Real& v : bf) v = -v;
+      if (opt.initialState == nullptr) s[i] = lu.solve(bf);
+      qp[i] = bq;
+    }
+  }
+
+  result.times.push_back(t0);
+  result.states.push_back(x);
+  result.sens.assign(ns, {});
+  for (size_t i = 0; i < ns; ++i) result.sens[i].push_back(s[i]);
+
+  // Fixed-step backward Euler with breakpoint-aligned segments.
+  // Merge near-coincident stops (see runTransient for the rationale).
+  std::vector<Real> stops;
+  for (Real bp : sys.collectBreakpoints(t0, t1)) {
+    if (bp < t1 - 1e-3 * dt &&
+        (stops.empty() || bp - stops.back() > 1e-3 * dt)) {
+      stops.push_back(bp);
+    }
+  }
+  stops.push_back(t1);
+
+  TranOptions stepOpt = opt;
+  stepOpt.method = IntegrationMethod::kBackwardEuler;
+  Real t = t0;
+  RealVector qd(n, 0.0);
+  for (Real stop : stops) {
+    if (stop <= t) continue;
+    const auto count = static_cast<size_t>(
+        std::max<Real>(1.0, std::ceil((stop - t) / dt - 1e-9)));
+    const Real h = (stop - t) / static_cast<Real>(count);
+    for (size_t k = 0; k < count; ++k) {
+      const RealVector qOld = q;
+      const RealVector xOld = x;
+      if (!integrateStep(sys, IntegrationMethod::kBackwardEuler, true, t, h, x,
+                         q, qd, nullptr, stepOpt, nullptr)) {
+        throw ConvergenceError("transient-sensitivity Newton failed at t=" +
+                               std::to_string(t + h));
+      }
+      t += h;
+      // Sensitivity update at the accepted point:
+      //   (G1 + C1/h) s1 = (C0/h) s0 - [bf1 + (bq1 - bq0)/h]
+      // with C0 s0 approximated by C1-at-old-x; we store dq/dp (= bq) and
+      // d q/dx * s as combined charge sensitivity to keep the recursion
+      // exact:  d/dt [ C s + dq/dp ] -> ((C1 s1 + bq1) - (C0 s0 + bq0))/h.
+      sys.evalDense(x, t, nullptr, nullptr, &g, &c, {});
+      // J = G + C/h.
+      RealMatrix j = g;
+      for (size_t r = 0; r < n; ++r) {
+        auto jr = j.row(r);
+        const auto cr = c.row(r);
+        for (size_t cc = 0; cc < n; ++cc) jr[cc] += cr[cc] / h;
+      }
+      DenseLU<Real> lu(j);
+      ++result.luFactorizations;
+      // C at the previous point (linearization around xOld).
+      RealMatrix cOld;
+      sys.evalDense(xOld, t - h, nullptr, nullptr, nullptr, &cOld, {});
+      for (size_t i = 0; i < ns; ++i) {
+        sys.evalInjection(sources[i], x, t, &bf, &bq);
+        // rhs = C0/h * s0 - bf - (bq - bqOld)/h
+        RealVector rhs = matvec(cOld, std::span<const Real>(s[i]));
+        for (size_t r = 0; r < n; ++r) {
+          rhs[r] = rhs[r] / h - bf[r] - (bq[r] - qp[i][r]) / h;
+        }
+        s[i] = lu.solve(rhs);
+        qp[i] = bq;
+      }
+      result.times.push_back(t);
+      result.states.push_back(x);
+      for (size_t i = 0; i < ns; ++i) result.sens[i].push_back(s[i]);
+    }
+  }
+  return result;
+}
+
+Real TransientSensitivityResult::crossingTimeSensitivity(size_t sourceIndex,
+                                                         int outIndex,
+                                                         Real level,
+                                                         int direction) const {
+  PSMN_CHECK(sourceIndex < sens.size(), "bad source index");
+  PSMN_CHECK(outIndex >= 0, "bad output index");
+  const auto& sv = sens[sourceIndex];
+  for (size_t k = 1; k < times.size(); ++k) {
+    const Real y0 = states[k - 1][outIndex];
+    const Real y1 = states[k][outIndex];
+    const bool crosses = direction >= 0 ? (y0 < level && y1 >= level)
+                                        : (y0 > level && y1 <= level);
+    if (!crosses) continue;
+    const Real vdot = (y1 - y0) / (times[k] - times[k - 1]);
+    PSMN_CHECK(vdot != 0.0, "flat crossing");
+    // Interpolate the sensitivity at the crossing.
+    const Real u = (level - y0) / (y1 - y0);
+    const Real sAtCross =
+        sv[k - 1][outIndex] + u * (sv[k][outIndex] - sv[k - 1][outIndex]);
+    return -sAtCross / vdot;
+  }
+  throw Error("crossingTimeSensitivity: no crossing found");
+}
+
+}  // namespace psmn

@@ -1,0 +1,36 @@
+// Direct transient sensitivity analysis (Hocevar et al. [23] in the paper):
+// propagates s_i(t) = dx(t)/dp_i for every mismatch parameter alongside a
+// fixed-step backward-Euler transient.
+//
+// This is the method the paper argues *against* for mismatch analysis of
+// periodic measurements (SS IV): its cost grows with simulation length and
+// it wastes effort on the settling transient. It is implemented here as the
+// ablation baseline (bench_ablation_sens_methods) and as an independent
+// cross-check of the LPTV results.
+#pragma once
+
+#include "engine/mna.hpp"
+#include "engine/transient.hpp"
+
+namespace psmn {
+
+struct TransientSensitivityResult {
+  std::vector<Real> times;
+  std::vector<RealVector> states;             // x at each time point
+  /// sens[i] is the sensitivity waveform matrix for source i: one vector
+  /// dx/dp_i per time point.
+  std::vector<std::vector<RealVector>> sens;
+  size_t luFactorizations = 0;  // cost counter
+
+  /// Sensitivity of the crossing time of unknown `outIndex` through `level`
+  /// (direction +1 rising / -1 falling) w.r.t. parameter i:
+  ///   dtc/dp = -s_out(tc) / vdot(tc).
+  Real crossingTimeSensitivity(size_t sourceIndex, int outIndex, Real level,
+                               int direction) const;
+};
+
+TransientSensitivityResult runTransientSensitivity(
+    const MnaSystem& sys, Real t0, Real t1, Real dt,
+    std::span<const InjectionSource> sources, const TranOptions& opt = {});
+
+}  // namespace psmn

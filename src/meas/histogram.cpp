@@ -1,0 +1,78 @@
+#include "meas/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace psmn {
+
+Histogram Histogram::fromSamples(std::span<const Real> samples, size_t bins,
+                                 Real lo, Real hi) {
+  PSMN_CHECK(!samples.empty() && bins >= 2, "bad histogram request");
+  Histogram h;
+  if (lo == 0.0 && hi == 0.0) {
+    lo = *std::min_element(samples.begin(), samples.end());
+    hi = *std::max_element(samples.begin(), samples.end());
+    const Real pad = 1e-9 * (std::fabs(lo) + std::fabs(hi) + 1e-30);
+    lo -= pad;
+    hi += pad;
+  }
+  PSMN_CHECK(hi > lo, "degenerate histogram range");
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  for (Real x : samples) {
+    if (x < lo || x > hi) continue;
+    auto idx = static_cast<size_t>((x - lo) / (hi - lo) * bins);
+    if (idx >= bins) idx = bins - 1;
+    ++h.counts[idx];
+    ++h.total;
+  }
+  return h;
+}
+
+Real Histogram::binWidth() const {
+  return (hi - lo) / static_cast<Real>(counts.size());
+}
+
+Real Histogram::binCenter(size_t i) const {
+  return lo + (static_cast<Real>(i) + 0.5) * binWidth();
+}
+
+Real Histogram::density(size_t i) const {
+  if (total == 0) return 0.0;
+  return static_cast<Real>(counts[i]) /
+         (static_cast<Real>(total) * binWidth());
+}
+
+std::string Histogram::render(int width,
+                              const std::function<Real(Real)>& pdf) const {
+  Real maxDensity = 1e-300;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    maxDensity = std::max(maxDensity, density(i));
+    if (pdf) maxDensity = std::max(maxDensity, pdf(binCenter(i)));
+  }
+  std::ostringstream os;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const Real center = binCenter(i);
+    const int bar =
+        static_cast<int>(std::lround(density(i) / maxDensity * width));
+    os << (center < 0 ? "" : " ") << formatEng(center, 3) << "\t|";
+    for (int c = 0; c < bar; ++c) os << '#';
+    if (pdf) {
+      const int mark =
+          static_cast<int>(std::lround(pdf(center) / maxDensity * width));
+      if (mark > bar) {
+        for (int c = bar; c < mark - 1; ++c) os << ' ';
+        os << '*';
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace psmn

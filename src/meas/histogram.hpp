@@ -1,0 +1,34 @@
+// Histogram builder with a terminal renderer, used by the Fig. 9 / Fig. 12
+// benches to show the Monte-Carlo histogram against the pseudo-noise
+// Gaussian (or mixture) PDF.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "numeric/types.hpp"
+
+namespace psmn {
+
+struct Histogram {
+  Real lo = 0.0;
+  Real hi = 0.0;
+  std::vector<size_t> counts;
+  size_t total = 0;
+
+  static Histogram fromSamples(std::span<const Real> samples, size_t bins,
+                               Real lo = 0.0, Real hi = 0.0);
+
+  Real binWidth() const;
+  Real binCenter(size_t i) const;
+  /// Normalized density of bin i (integrates to ~1).
+  Real density(size_t i) const;
+
+  /// ASCII rendering; `pdf` (optional) is overlaid as '*' markers, e.g. the
+  /// analytic Gaussian from the pseudo-noise sigma.
+  std::string render(int width = 60,
+                     const std::function<Real(Real)>& pdf = {}) const;
+};
+
+}  // namespace psmn

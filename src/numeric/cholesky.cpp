@@ -1,0 +1,44 @@
+#include "numeric/cholesky.hpp"
+
+#include <cmath>
+
+namespace psmn {
+
+bool isSymmetric(const RealMatrix& c, double tol) {
+  if (c.rows() != c.cols()) return false;
+  for (size_t i = 0; i < c.rows(); ++i)
+    for (size_t j = i + 1; j < c.cols(); ++j)
+      if (std::abs(c(i, j) - c(j, i)) > tol) return false;
+  return true;
+}
+
+RealMatrix choleskyFactor(const RealMatrix& c, double semidefTol) {
+  PSMN_CHECK(c.rows() == c.cols(), "cholesky requires a square matrix");
+  PSMN_CHECK(isSymmetric(c, semidefTol * maxAbs(c) + 1e-300),
+             "cholesky requires a symmetric matrix");
+  const size_t n = c.rows();
+  const double scale = maxAbs(c);
+  RealMatrix a(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = c(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= a(j, k) * a(j, k);
+    if (diag < -semidefTol * scale) {
+      throw NumericalError("cholesky: matrix is not positive semi-definite");
+    }
+    const double ajj = diag > 0.0 ? std::sqrt(diag) : 0.0;
+    a(j, j) = ajj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double acc = c(i, j);
+      for (size_t k = 0; k < j; ++k) acc -= a(i, k) * a(j, k);
+      // A zero pivot with a nonzero off-diagonal would mean an indefinite
+      // matrix; within tolerance we zero the column (semi-definite case).
+      a(i, j) = (ajj > 0.0) ? acc / ajj : 0.0;
+      if (ajj == 0.0 && std::abs(acc) > semidefTol * scale) {
+        throw NumericalError("cholesky: matrix is not positive semi-definite");
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace psmn

@@ -1,0 +1,20 @@
+// Cholesky / LDL^T factorization of symmetric positive (semi-)definite
+// matrices. Used to build correlated mismatch sources: given a desired
+// covariance C, the factor A with C = A A^T maps independent unit-variance
+// pseudo-noise sources onto correlated parameter deltas (paper §III-C, eq. 6).
+#pragma once
+
+#include "numeric/dense_matrix.hpp"
+
+namespace psmn {
+
+/// Lower-triangular A with C = A A^T. Throws NumericalError when C is not
+/// positive definite beyond `semidefTol` (relative); small negative pivots
+/// within tolerance are clamped to zero so that positive *semi*-definite
+/// covariances (perfect correlation) are accepted.
+RealMatrix choleskyFactor(const RealMatrix& c, double semidefTol = 1e-10);
+
+/// True when c is symmetric within tol (absolute).
+bool isSymmetric(const RealMatrix& c, double tol = 0.0);
+
+}  // namespace psmn

@@ -1,0 +1,61 @@
+// Dense LU factorization with partial pivoting, over double or complex.
+//
+// The factorization object is reusable: factor once, solve many right-hand
+// sides (the shooting and LPTV kernels rely on this heavily).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "numeric/dense_matrix.hpp"
+
+namespace psmn {
+
+template <class T>
+class DenseLU {
+ public:
+  DenseLU() = default;
+
+  /// Factors A in place (a copy is taken). Throws NumericalError when the
+  /// matrix is numerically singular.
+  explicit DenseLU(const Matrix<T>& a) { factor(a); }
+
+  void factor(const Matrix<T>& a);
+
+  /// Solves A x = b.
+  std::vector<T> solve(std::span<const T> b) const;
+  void solveInPlace(std::span<T> b) const;
+
+  /// Solves A^T x = b (plain transpose; for complex T this is A^T, not A^H —
+  /// conjugate the RHS and the result to get an A^H solve).
+  std::vector<T> solveTransposed(std::span<const T> b) const;
+  void solveTransposedInPlace(std::span<T> b) const;
+
+  /// Solves A X = B for a full matrix of right-hand sides.
+  Matrix<T> solveMatrix(const Matrix<T>& b) const;
+
+  size_t size() const { return lu_.rows(); }
+  bool factored() const { return !lu_.empty(); }
+
+  /// |det A| estimate via the product of pivots (log-scaled internally).
+  double absDeterminant() const;
+
+  /// The reciprocal of the max-pivot/min-pivot ratio; a cheap conditioning
+  /// indicator (1 = perfectly conditioned, 0 = singular).
+  double pivotRatio() const { return pivotRatio_; }
+
+ private:
+  Matrix<T> lu_;
+  std::vector<int> perm_;
+  double pivotRatio_ = 0.0;
+};
+
+/// Convenience one-shot solve.
+template <class T>
+std::vector<T> luSolve(const Matrix<T>& a, std::span<const T> b);
+
+/// Dense inverse (used in small shooting/correlation algebra only).
+template <class T>
+Matrix<T> inverse(const Matrix<T>& a);
+
+}  // namespace psmn

@@ -1,0 +1,120 @@
+#include "numeric/dense_matrix.hpp"
+
+#include <cmath>
+
+namespace psmn {
+
+template <class T>
+Matrix<T>& Matrix<T>::operator+=(const Matrix& other) {
+  PSMN_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+             "matrix shape mismatch in +=");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+template <class T>
+Matrix<T>& Matrix<T>::operator-=(const Matrix& other) {
+  PSMN_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+             "matrix shape mismatch in -=");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+template <class T>
+Matrix<T>& Matrix<T>::operator*=(T scale) {
+  for (auto& v : data_) v *= scale;
+  return *this;
+}
+
+template <class T>
+Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
+  PSMN_CHECK(a.cols() == b.rows(), "matmul shape mismatch");
+  Matrix<T> c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const T aik = a(i, k);
+      if (aik == T{}) continue;
+      const auto brow = b.row(k);
+      auto crow = c.row(i);
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+template <class T>
+std::vector<T> matvec(const Matrix<T>& a, std::span<const T> x) {
+  PSMN_CHECK(a.cols() == x.size(), "matvec shape mismatch");
+  std::vector<T> y(a.rows(), T{});
+  for (size_t i = 0; i < a.rows(); ++i) {
+    T acc{};
+    const auto arow = a.row(i);
+    for (size_t j = 0; j < a.cols(); ++j) acc += arow[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+template <class T>
+std::vector<T> matvecT(const Matrix<T>& a, std::span<const T> x) {
+  PSMN_CHECK(a.rows() == x.size(), "matvecT shape mismatch");
+  std::vector<T> y(a.cols(), T{});
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const T xi = x[i];
+    if (xi == T{}) continue;
+    const auto arow = a.row(i);
+    for (size_t j = 0; j < a.cols(); ++j) y[j] += arow[j] * xi;
+  }
+  return y;
+}
+
+template <class T>
+Matrix<T> transpose(const Matrix<T>& a) {
+  Matrix<T> t(a.cols(), a.rows());
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+template <class T>
+double maxAbsDiff(const Matrix<T>& a, const Matrix<T>& b) {
+  PSMN_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+             "maxAbsDiff shape mismatch");
+  double m = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j)
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+  return m;
+}
+
+template <class T>
+double maxAbs(const Matrix<T>& a) {
+  double m = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j) m = std::max(m, std::abs(a(i, j)));
+  return m;
+}
+
+Matrix<Cplx> toComplex(const Matrix<Real>& a) {
+  Matrix<Cplx> c(a.rows(), a.cols());
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j) c(i, j) = a(i, j);
+  return c;
+}
+
+template class Matrix<Real>;
+template class Matrix<Cplx>;
+template Matrix<Real> matmul(const Matrix<Real>&, const Matrix<Real>&);
+template Matrix<Cplx> matmul(const Matrix<Cplx>&, const Matrix<Cplx>&);
+template std::vector<Real> matvec(const Matrix<Real>&, std::span<const Real>);
+template std::vector<Cplx> matvec(const Matrix<Cplx>&, std::span<const Cplx>);
+template std::vector<Real> matvecT(const Matrix<Real>&, std::span<const Real>);
+template std::vector<Cplx> matvecT(const Matrix<Cplx>&, std::span<const Cplx>);
+template Matrix<Real> transpose(const Matrix<Real>&);
+template Matrix<Cplx> transpose(const Matrix<Cplx>&);
+template double maxAbsDiff(const Matrix<Real>&, const Matrix<Real>&);
+template double maxAbsDiff(const Matrix<Cplx>&, const Matrix<Cplx>&);
+template double maxAbs(const Matrix<Real>&);
+template double maxAbs(const Matrix<Cplx>&);
+
+}  // namespace psmn

@@ -1,0 +1,98 @@
+// Dense row-major matrix over double or std::complex<double>.
+//
+// Sized for MNA systems of the benchmark circuits (tens of unknowns) and for
+// monodromy / shooting algebra; the sparse path (sparse_matrix.hpp) covers
+// larger netlists.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "numeric/types.hpp"
+#include "util/status.hpp"
+
+namespace psmn {
+
+template <class T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  static Matrix identity(size_t n) {
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  const T& operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<T> row(size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const T> row(size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  void setZero() { data_.assign(data_.size(), T{}); }
+
+  void resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, T{});
+  }
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(T scale);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// C = A * B.
+template <class T>
+Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b);
+
+/// y = A * x.
+template <class T>
+std::vector<T> matvec(const Matrix<T>& a, std::span<const T> x);
+
+/// y = A^T * x (A^H for complex T? no — plain transpose; see matvecConjT).
+template <class T>
+std::vector<T> matvecT(const Matrix<T>& a, std::span<const T> x);
+
+/// Transpose.
+template <class T>
+Matrix<T> transpose(const Matrix<T>& a);
+
+/// Max |a_ij - b_ij|.
+template <class T>
+double maxAbsDiff(const Matrix<T>& a, const Matrix<T>& b);
+
+/// Frobenius-ish max-abs norm.
+template <class T>
+double maxAbs(const Matrix<T>& a);
+
+/// Converts a real matrix into a complex one.
+Matrix<Cplx> toComplex(const Matrix<Real>& a);
+
+using RealMatrix = Matrix<Real>;
+using CplxMatrix = Matrix<Cplx>;
+
+}  // namespace psmn

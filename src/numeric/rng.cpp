@@ -1,0 +1,16 @@
+#include "numeric/rng.hpp"
+
+namespace psmn {
+
+uint64_t splitMix64(uint64_t state) {
+  uint64_t z = state + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+Rng Rng::forSample(uint64_t seed, uint64_t sampleIndex) {
+  return Rng(splitMix64(splitMix64(seed) ^ (sampleIndex * 0xA24BAED4963EE407ull)));
+}
+
+}  // namespace psmn

@@ -1,0 +1,42 @@
+// Deterministic random number generation for Monte-Carlo runs.
+//
+// Each Monte-Carlo sample derives its own stream from (seed, sampleIndex)
+// via SplitMix64, so results are reproducible and independent of evaluation
+// order (and therefore of any future parallelization of the sample loop).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "numeric/types.hpp"
+
+namespace psmn {
+
+/// SplitMix64: converts a (seed, stream) pair into a well-mixed 64-bit seed.
+uint64_t splitMix64(uint64_t state);
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  /// Deterministic per-sample stream.
+  static Rng forSample(uint64_t seed, uint64_t sampleIndex);
+
+  /// Standard normal draw.
+  Real gaussian() { return normal_(engine_); }
+  /// N(mu, sigma^2) draw.
+  Real gaussian(Real mu, Real sigma) { return mu + sigma * gaussian(); }
+  /// Uniform in [0,1).
+  Real uniform() { return uniform_(engine_); }
+  /// Uniform in [lo,hi).
+  Real uniform(Real lo, Real hi) { return lo + (hi - lo) * uniform(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::normal_distribution<Real> normal_{0.0, 1.0};
+  std::uniform_real_distribution<Real> uniform_{0.0, 1.0};
+};
+
+}  // namespace psmn

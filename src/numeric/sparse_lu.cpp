@@ -1,0 +1,185 @@
+#include "numeric/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace psmn {
+namespace {
+
+// Cheap fill-reducing column ordering: sort columns by nonzero count
+// (a degenerate but effective stand-in for minimum degree on MNA systems,
+// which are near-symmetric).
+template <class T>
+std::vector<int> orderColumnsByDegree(const SparseMatrix<T>& a) {
+  const size_t n = a.cols();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const auto ptr = a.colPointers();
+  std::stable_sort(order.begin(), order.end(), [&](int x, int y) {
+    return (ptr[x + 1] - ptr[x]) < (ptr[y + 1] - ptr[y]);
+  });
+  return order;
+}
+
+}  // namespace
+
+template <class T>
+void SparseLU<T>::factor(const SparseMatrix<T>& a, double pivotThreshold) {
+  PSMN_CHECK(a.rows() == a.cols(), "sparse LU requires a square matrix");
+  PSMN_CHECK(pivotThreshold > 0.0 && pivotThreshold <= 1.0,
+             "pivot threshold must be in (0,1]");
+  n_ = a.rows();
+  const auto aPtr = a.colPointers();
+  const auto aIdx = a.rowIndices();
+  const auto aVal = a.values();
+
+  colOrder_ = orderColumnsByDegree(a);
+  invColOrder_.assign(n_, 0);
+  for (size_t k = 0; k < n_; ++k) invColOrder_[colOrder_[k]] = static_cast<int>(k);
+
+  rowPerm_.assign(n_, -1);  // original row -> permuted position
+  std::vector<int> permRow(n_, -1);  // permuted position -> original row
+
+  lPtr_.assign(1, 0);
+  uPtr_.assign(1, 0);
+  lIdx_.clear(); lVal_.clear();
+  uIdx_.clear(); uVal_.clear();
+
+  // Dense workspace for the current column (Gilbert–Peierls sparse solve
+  // would use DFS reachability; for MNA sizes the dense-column variant is
+  // simpler and still O(nnz) per column in practice).
+  std::vector<T> work(n_, T{});
+  std::vector<char> mark(n_, 0);
+  std::vector<int> pattern;
+  pattern.reserve(n_);
+
+  for (size_t kcol = 0; kcol < n_; ++kcol) {
+    const int j = colOrder_[kcol];
+    // Scatter column j of A into the workspace (in original row indices).
+    pattern.clear();
+    for (int p = aPtr[j]; p < aPtr[j + 1]; ++p) {
+      work[aIdx[p]] = aVal[p];
+      if (!mark[aIdx[p]]) {
+        mark[aIdx[p]] = 1;
+        pattern.push_back(aIdx[p]);
+      }
+    }
+    // Left-looking update: apply previously computed L columns, in
+    // elimination order, for every upper entry of this column.
+    for (size_t t = 0; t < kcol; ++t) {
+      const int prow = permRow[t];  // original row eliminated at step t
+      if (!mark[prow] || work[prow] == T{}) continue;
+      const T ujt = work[prow];  // value of U(t, kcol)
+      // work -= ujt * L(:, t)
+      for (int p = lPtr_[t]; p < lPtr_[t + 1]; ++p) {
+        const int r = lIdx_[p];
+        if (!mark[r]) {
+          mark[r] = 1;
+          pattern.push_back(r);
+        }
+        work[r] -= ujt * lVal_[p];
+      }
+    }
+    // Choose pivot among not-yet-eliminated rows with threshold pivoting.
+    double maxMag = 0.0;
+    for (int r : pattern) {
+      if (rowPerm_[r] >= 0) continue;
+      maxMag = std::max(maxMag, std::abs(work[r]));
+    }
+    if (maxMag == 0.0) {
+      throw NumericalError("sparse LU: structurally/numerically singular at column " +
+                           std::to_string(j));
+    }
+    int pivotRow = -1;
+    double pivotMag = -1.0;
+    // Prefer the diagonal entry when it passes the threshold test.
+    if (rowPerm_[j] < 0 && mark[j] && std::abs(work[j]) >= pivotThreshold * maxMag &&
+        work[j] != T{}) {
+      pivotRow = j;
+      pivotMag = std::abs(work[j]);
+    } else {
+      for (int r : pattern) {
+        if (rowPerm_[r] >= 0) continue;
+        const double mag = std::abs(work[r]);
+        if (mag > pivotMag) {
+          pivotMag = mag;
+          pivotRow = r;
+        }
+      }
+    }
+    PSMN_CHECK(pivotRow >= 0, "sparse LU: no pivot candidate");
+    const T pivot = work[pivotRow];
+    rowPerm_[pivotRow] = static_cast<int>(kcol);
+    permRow[kcol] = pivotRow;
+
+    // Emit U entries (rows already eliminated) and L entries (the rest).
+    for (int r : pattern) {
+      const T v = work[r];
+      work[r] = T{};
+      mark[r] = 0;
+      if (v == T{}) continue;
+      if (rowPerm_[r] >= 0 && rowPerm_[r] < static_cast<int>(kcol)) {
+        uIdx_.push_back(rowPerm_[r]);
+        uVal_.push_back(v);
+      } else if (r == pivotRow) {
+        // diagonal of U, stored last within the column for easy access
+      } else {
+        lIdx_.push_back(r);  // keep original row index for L
+        lVal_.push_back(v / pivot);
+      }
+    }
+    uIdx_.push_back(static_cast<int>(kcol));
+    uVal_.push_back(pivot);
+    lPtr_.push_back(static_cast<int>(lIdx_.size()));
+    uPtr_.push_back(static_cast<int>(uIdx_.size()));
+  }
+}
+
+template <class T>
+void SparseLU<T>::solveInPlace(std::span<T> b) const {
+  PSMN_CHECK(b.size() == n_, "sparse LU solve: rhs size mismatch");
+  // permRow maps elimination step -> original pivot row.
+  std::vector<int> permRow(n_);
+  for (size_t r = 0; r < n_; ++r) permRow[rowPerm_[r]] = static_cast<int>(r);
+
+  // Forward solve L y = P b, with L unit-diagonal; L columns carry original
+  // row indices, so updates scatter into the (still original-indexed) rhs.
+  std::vector<T> rhs(b.begin(), b.end());
+  std::vector<T> x(n_, T{});
+  for (size_t t = 0; t < n_; ++t) {
+    const T yt = rhs[permRow[t]];
+    x[t] = yt;
+    if (yt == T{}) continue;
+    for (int p = lPtr_[t]; p < lPtr_[t + 1]; ++p) {
+      rhs[lIdx_[p]] -= lVal_[p] * yt;
+    }
+  }
+  // Column-oriented backward substitution: process columns from last to
+  // first; after dividing by the diagonal, scatter updates to earlier rows.
+  for (size_t tt = n_; tt-- > 0;) {
+    const int diagPos = uPtr_[tt + 1] - 1;
+    const T diag = uVal_[diagPos];
+    const T xt = x[tt] / diag;
+    x[tt] = xt;
+    if (xt == T{}) continue;
+    for (int p = uPtr_[tt]; p < diagPos; ++p) {
+      x[uIdx_[p]] -= uVal_[p] * xt;
+    }
+  }
+  // Un-permute columns: elimination step t corresponds to original column
+  // colOrder_[t].
+  for (size_t t = 0; t < n_; ++t) b[colOrder_[t]] = x[t];
+}
+
+template <class T>
+std::vector<T> SparseLU<T>::solve(std::span<const T> b) const {
+  std::vector<T> x(b.begin(), b.end());
+  solveInPlace(x);
+  return x;
+}
+
+template class SparseLU<Real>;
+template class SparseLU<Cplx>;
+
+}  // namespace psmn

@@ -1,0 +1,74 @@
+#include "numeric/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psmn {
+
+template <class T>
+SparseMatrix<T> SparseMatrix<T>::fromTriplets(
+    size_t rows, size_t cols, std::span<const Triplet<T>> triplets) {
+  SparseMatrix m(rows, cols);
+  // Count entries per column (with duplicates for now).
+  std::vector<Triplet<T>> sorted(triplets.begin(), triplets.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.col != b.col ? a.col < b.col : a.row < b.row;
+  });
+  m.colPtr_.assign(cols + 1, 0);
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i + 1;
+    T sum = sorted[i].value;
+    while (j < sorted.size() && sorted[j].col == sorted[i].col &&
+           sorted[j].row == sorted[i].row) {
+      sum += sorted[j].value;
+      ++j;
+    }
+    PSMN_CHECK(sorted[i].row >= 0 && sorted[i].row < static_cast<int>(rows) &&
+                   sorted[i].col >= 0 && sorted[i].col < static_cast<int>(cols),
+               "triplet index out of range");
+    m.rowIdx_.push_back(sorted[i].row);
+    m.values_.push_back(sum);
+    m.colPtr_[sorted[i].col + 1]++;
+    i = j;
+  }
+  for (size_t c = 0; c < cols; ++c) m.colPtr_[c + 1] += m.colPtr_[c];
+  return m;
+}
+
+template <class T>
+SparseMatrix<T> SparseMatrix<T>::fromDense(const Matrix<T>& dense,
+                                           double dropTol) {
+  std::vector<Triplet<T>> trips;
+  for (size_t j = 0; j < dense.cols(); ++j)
+    for (size_t i = 0; i < dense.rows(); ++i)
+      if (std::abs(dense(i, j)) > dropTol)
+        trips.push_back({static_cast<int>(i), static_cast<int>(j), dense(i, j)});
+  return fromTriplets(dense.rows(), dense.cols(), trips);
+}
+
+template <class T>
+std::vector<T> SparseMatrix<T>::multiply(std::span<const T> x) const {
+  PSMN_CHECK(x.size() == cols_, "sparse multiply: shape mismatch");
+  std::vector<T> y(rows_, T{});
+  for (size_t c = 0; c < cols_; ++c) {
+    const T xc = x[c];
+    if (xc == T{}) continue;
+    for (int k = colPtr_[c]; k < colPtr_[c + 1]; ++k) {
+      y[rowIdx_[k]] += values_[k] * xc;
+    }
+  }
+  return y;
+}
+
+template <class T>
+Matrix<T> SparseMatrix<T>::toDense() const {
+  Matrix<T> d(rows_, cols_);
+  for (size_t c = 0; c < cols_; ++c)
+    for (int k = colPtr_[c]; k < colPtr_[c + 1]; ++k) d(rowIdx_[k], c) = values_[k];
+  return d;
+}
+
+template class SparseMatrix<Real>;
+template class SparseMatrix<Cplx>;
+
+}  // namespace psmn

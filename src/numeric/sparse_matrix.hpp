@@ -1,0 +1,61 @@
+// Sparse matrix support: a triplet (COO) accumulator that MNA assembly
+// writes into, and a compressed-sparse-column (CSC) form consumed by the
+// sparse LU factorization.
+//
+// Duplicate triplet entries are summed, matching how device stamps
+// accumulate conductances onto shared matrix positions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "numeric/dense_matrix.hpp"
+#include "numeric/types.hpp"
+
+namespace psmn {
+
+template <class T>
+struct Triplet {
+  int row = 0;
+  int col = 0;
+  T value{};
+};
+
+template <class T>
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  SparseMatrix(size_t rows, size_t cols) : rows_(rows), cols_(cols) {}
+
+  /// Builds CSC from triplets, summing duplicates.
+  static SparseMatrix fromTriplets(size_t rows, size_t cols,
+                                   std::span<const Triplet<T>> triplets);
+
+  static SparseMatrix fromDense(const Matrix<T>& dense, double dropTol = 0.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nonZeros() const { return values_.size(); }
+
+  std::span<const int> colPointers() const { return colPtr_; }
+  std::span<const int> rowIndices() const { return rowIdx_; }
+  std::span<const T> values() const { return values_; }
+
+  /// y = A x.
+  std::vector<T> multiply(std::span<const T> x) const;
+
+  Matrix<T> toDense() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<int> colPtr_;  // size cols+1
+  std::vector<int> rowIdx_;  // size nnz, sorted within each column
+  std::vector<T> values_;    // size nnz
+};
+
+using RealSparse = SparseMatrix<Real>;
+using CplxSparse = SparseMatrix<Cplx>;
+
+}  // namespace psmn

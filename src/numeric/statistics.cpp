@@ -1,0 +1,136 @@
+#include "numeric/statistics.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/status.hpp"
+
+namespace psmn {
+
+void MomentAccumulator::add(Real x) {
+  // Pebay's single-pass update of central moments.
+  const size_t n1 = n_;
+  n_ += 1;
+  const Real delta = x - mean_;
+  const Real deltaN = delta / static_cast<Real>(n_);
+  const Real deltaN2 = deltaN * deltaN;
+  const Real term1 = delta * deltaN * static_cast<Real>(n1);
+  mean_ += deltaN;
+  m4_ += term1 * deltaN2 * static_cast<Real>(n_ * n_ - 3 * n_ + 3) +
+         6.0 * deltaN2 * m2_ - 4.0 * deltaN * m3_;
+  m3_ += term1 * deltaN * static_cast<Real>(n_ - 2) - 3.0 * deltaN * m2_;
+  m2_ += term1;
+}
+
+void MomentAccumulator::merge(const MomentAccumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const Real na = static_cast<Real>(n_), nb = static_cast<Real>(other.n_);
+  const Real nab = na + nb;
+  const Real delta = other.mean_ - mean_;
+  const Real mean = mean_ + delta * nb / nab;
+  const Real m2 = m2_ + other.m2_ + delta * delta * na * nb / nab;
+  const Real m3 = m3_ + other.m3_ +
+                  delta * delta * delta * na * nb * (na - nb) / (nab * nab) +
+                  3.0 * delta * (na * other.m2_ - nb * m2_) / nab;
+  const Real d2 = delta * delta;
+  const Real m4 =
+      m4_ + other.m4_ +
+      d2 * d2 * na * nb * (na * na - na * nb + nb * nb) / (nab * nab * nab) +
+      6.0 * d2 * (na * na * other.m2_ + nb * nb * m2_) / (nab * nab) +
+      4.0 * delta * (na * other.m3_ - nb * m3_) / nab;
+  n_ += other.n_;
+  mean_ = mean;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+}
+
+Real MomentAccumulator::variance() const {
+  return n_ > 1 ? m2_ / static_cast<Real>(n_ - 1) : 0.0;
+}
+
+Real MomentAccumulator::stddev() const { return std::sqrt(variance()); }
+
+Real MomentAccumulator::thirdCentralMoment() const {
+  return n_ > 0 ? m3_ / static_cast<Real>(n_) : 0.0;
+}
+
+Real MomentAccumulator::skewness() const {
+  const Real sd = stddev();
+  return sd > 0.0 ? thirdCentralMoment() / (sd * sd * sd) : 0.0;
+}
+
+Real MomentAccumulator::normalizedSkewness() const {
+  const Real sd = stddev();
+  if (sd <= 0.0) return 0.0;
+  const Real mu3 = thirdCentralMoment();
+  return std::copysign(std::cbrt(std::fabs(mu3)), mu3) / sd;
+}
+
+void CorrelationAccumulator::add(Real x, Real y) {
+  n_ += 1;
+  const Real n = static_cast<Real>(n_);
+  const Real dx = x - meanX_;
+  const Real dy = y - meanY_;
+  meanX_ += dx / n;
+  meanY_ += dy / n;
+  m2x_ += dx * (x - meanX_);
+  m2y_ += dy * (y - meanY_);
+  cxy_ += dx * (y - meanY_);
+}
+
+Real CorrelationAccumulator::covariance() const {
+  return n_ > 1 ? cxy_ / static_cast<Real>(n_ - 1) : 0.0;
+}
+
+Real CorrelationAccumulator::varianceX() const {
+  return n_ > 1 ? m2x_ / static_cast<Real>(n_ - 1) : 0.0;
+}
+
+Real CorrelationAccumulator::varianceY() const {
+  return n_ > 1 ? m2y_ / static_cast<Real>(n_ - 1) : 0.0;
+}
+
+Real CorrelationAccumulator::correlation() const {
+  const Real denom = std::sqrt(varianceX() * varianceY());
+  return denom > 0.0 ? covariance() / denom : 0.0;
+}
+
+Real mean(std::span<const Real> xs) {
+  PSMN_CHECK(!xs.empty(), "mean of empty span");
+  Real acc = 0.0;
+  for (Real x : xs) acc += x;
+  return acc / static_cast<Real>(xs.size());
+}
+
+Real variance(std::span<const Real> xs) {
+  MomentAccumulator acc;
+  for (Real x : xs) acc.add(x);
+  return acc.variance();
+}
+
+Real stddev(std::span<const Real> xs) { return std::sqrt(variance(xs)); }
+
+Real correlation(std::span<const Real> xs, std::span<const Real> ys) {
+  PSMN_CHECK(xs.size() == ys.size(), "correlation: length mismatch");
+  CorrelationAccumulator acc;
+  for (size_t i = 0; i < xs.size(); ++i) acc.add(xs[i], ys[i]);
+  return acc.correlation();
+}
+
+Real sigmaConfidence95(size_t n) {
+  if (n < 2) return std::numeric_limits<Real>::infinity();
+  return 1.96 / std::sqrt(2.0 * static_cast<Real>(n - 1));
+}
+
+Real gaussPdf(Real x, Real mu, Real sigma) {
+  const Real z = (x - mu) / sigma;
+  return std::exp(-0.5 * z * z) /
+         (sigma * std::sqrt(2.0 * std::numbers::pi_v<Real>));
+}
+
+}  // namespace psmn

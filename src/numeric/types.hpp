@@ -1,0 +1,19 @@
+// Scalar types used throughout psmn.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace psmn {
+
+using Real = double;
+using Cplx = std::complex<double>;
+
+using RealVector = std::vector<Real>;
+using CplxVector = std::vector<Cplx>;
+
+inline constexpr Real kBoltzmann = 1.380649e-23;  // J/K
+inline constexpr Real kRoomTempK = 300.15;        // 27 C, SPICE default
+inline constexpr Real kElemCharge = 1.602176634e-19;  // C
+
+}  // namespace psmn

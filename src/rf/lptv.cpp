@@ -1,0 +1,343 @@
+#include "rf/lptv.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "numeric/dense_lu.hpp"
+
+namespace psmn {
+namespace {
+
+constexpr Real kTwoPi = 2.0 * std::numbers::pi_v<Real>;
+
+CplxMatrix stepMatrix(const RealMatrix& g, const RealMatrix& c, Real invH,
+                      Cplx jw) {
+  const size_t n = g.rows();
+  CplxMatrix k(n, n);
+  const Cplx coef = invH + jw;
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) k(i, j) = g(i, j) + coef * c(i, j);
+  return k;
+}
+
+/// Cyclic-closure solver with the oscillator phase-mode correction.
+///
+/// For an autonomous PSS the continuous-time Floquet multiplier of the
+/// phase mode is exactly 1, so the closure matrix S(w) has an eigenvalue
+/// lamStar = exp(-j w T). The backward-Euler discretization perturbs it to
+/// lam1 = lamStar*(1 + O(h)); at a 1 Hz offset |1 - lamStar| = wT ~ 1e-9
+/// is far below that O(h) error, which would wipe out the 1/f phase-noise
+/// amplification entirely (the discrete closure looks regular). We restore
+/// the analytically-known eigenvalue with a rank-one spectral update
+///   S' = S + (lamStar - lam1) u v^T,  v^T u = 1,
+/// solved through the Sherman-Morrison identity:
+///   (I-S')^{-1} b = (I-S)^{-1} b
+///                   + u (v^T b) (lamStar - lam1) / ((1-lam1)(1-lamStar)).
+/// (1 - lamStar) is evaluated as 2 sin^2(wT/2) + j sin(wT) to avoid the
+/// catastrophic cancellation of 1 - cos(wT).
+class ClosureSolver {
+ public:
+  ClosureSolver(const CplxMatrix& s, bool phaseCorrect, Real omega,
+                Real period) {
+    const size_t n = s.rows();
+    CplxMatrix iMinusS = CplxMatrix::identity(n);
+    iMinusS -= s;
+    lu_.factor(iMinusS);
+    if (!phaseCorrect) return;
+
+    const Real theta = omega * period;
+    const Real sh = std::sin(0.5 * theta);
+    oneMinusLamStar_ = Cplx(2.0 * sh * sh, std::sin(theta));
+    const Cplx lamStar = Cplx(1.0, 0.0) - oneMinusLamStar_;
+
+    // Right/left eigenvectors of S for the eigenvalue nearest lamStar via
+    // inverse iteration on (S - lamStar I).
+    CplxMatrix shifted = s;
+    for (size_t i = 0; i < n; ++i) shifted(i, i) -= lamStar;
+    DenseLU<Cplx> inv(shifted);
+    u_.assign(n, Cplx(1.0, 0.0));
+    v_.assign(n, Cplx(1.0, 0.0));
+    for (int it = 0; it < 40; ++it) {
+      inv.solveInPlace(u_);
+      inv.solveTransposedInPlace(v_);
+      Real nu = 0.0, nv = 0.0;
+      for (const Cplx& x : u_) nu = std::max(nu, std::abs(x));
+      for (const Cplx& x : v_) nv = std::max(nv, std::abs(x));
+      PSMN_CHECK(nu > 0.0 && nv > 0.0, "phase-mode inverse iteration died");
+      for (Cplx& x : u_) x /= nu;
+      for (Cplx& x : v_) x /= nv;
+    }
+    // Rayleigh quotient lam1 = v^T S u / v^T u and normalization v^T u = 1.
+    const CplxVector su = matvec(s, std::span<const Cplx>(u_));
+    Cplx vsu{}, vu{};
+    for (size_t i = 0; i < n; ++i) {
+      vsu += v_[i] * su[i];
+      vu += v_[i] * u_[i];
+    }
+    PSMN_CHECK(std::abs(vu) > 1e-12, "degenerate phase-mode eigenvectors");
+    lam1_ = vsu / vu;
+    for (Cplx& x : v_) x /= vu;
+    corrected_ = true;
+  }
+
+  CplxVector solve(std::span<const Cplx> b) const {
+    CplxVector x = lu_.solve(b);
+    if (!corrected_) return x;
+    Cplx vb{};
+    for (size_t i = 0; i < b.size(); ++i) vb += v_[i] * b[i];
+    const Cplx oneMinusLam1 = Cplx(1.0, 0.0) - lam1_;
+    const Cplx gain = vb * (oneMinusLam1 - oneMinusLamStar_) /
+                      (oneMinusLam1 * oneMinusLamStar_);
+    for (size_t i = 0; i < x.size(); ++i) x[i] += gain * u_[i];
+    return x;
+  }
+
+ private:
+  DenseLU<Cplx> lu_;
+  bool corrected_ = false;
+  CplxVector u_, v_;
+  Cplx lam1_{};
+  Cplx oneMinusLamStar_{};
+};
+
+}  // namespace
+
+Cplx LptvSolution::harmonic(size_t sourceIdx, int outIndex, int n) const {
+  PSMN_CHECK(sourceIdx < envelopes.size(), "bad source index");
+  PSMN_CHECK(outIndex >= 0, "bad output index");
+  const auto& env = envelopes[sourceIdx];
+  Cplx acc{};
+  const size_t m = env.size();
+  for (size_t k = 0; k < m; ++k) {
+    const Real phase = -kTwoPi * n * static_cast<Real>(k) / m;
+    acc += env[k][outIndex] * Cplx(std::cos(phase), std::sin(phase));
+  }
+  return acc / static_cast<Real>(m);
+}
+
+LptvSolver::LptvSolver(const MnaSystem& sys, const PssResult& pss)
+    : sys_(&sys), pss_(&pss) {
+  PSMN_CHECK(pss.stepCount() > 0, "empty PSS result");
+  PSMN_CHECK(pss.gMats.size() == pss.times.size(),
+             "PSS result lacks stored linearizations");
+}
+
+std::vector<CplxVector> LptvSolver::sourceEnvelope(const InjectionSource& src,
+                                                   Real offsetFreq) const {
+  const size_t n = sys_->size();
+  const size_t m = pss_->stepCount();
+  const Real h = pss_->stepSize();
+  const Cplx jw(0.0, kTwoPi * offsetFreq);
+
+  // bq at all grid points first (including k=0 for the backward difference
+  // at k=1; the grid is periodic so bq[0] == bq[M] to PSS tolerance).
+  std::vector<RealVector> bqs(m + 1);
+  std::vector<RealVector> bfs(m + 1);
+  for (size_t k = 0; k <= m; ++k) {
+    sys_->evalInjection(src, pss_->states[k], pss_->times[k], &bfs[k],
+                        &bqs[k]);
+  }
+  std::vector<CplxVector> b(m + 1);  // b[k] for k = 1..M (b[0] unused)
+  for (size_t k = 1; k <= m; ++k) {
+    b[k].assign(n, Cplx{});
+    for (size_t i = 0; i < n; ++i) {
+      b[k][i] = -bfs[k][i] - (bqs[k][i] - bqs[k - 1][i]) / h - jw * bqs[k][i];
+    }
+  }
+  return b;
+}
+
+LptvSolution LptvSolver::solveDirect(std::span<const InjectionSource> sources,
+                                     Real offsetFreq) const {
+  const size_t n = sys_->size();
+  const size_t m = pss_->stepCount();
+  const Real h = pss_->stepSize();
+  const Real invH = 1.0 / h;
+  const Cplx jw(0.0, kTwoPi * offsetFreq);
+  const size_t ns = sources.size();
+
+  // Injection envelopes b_k per source.
+  std::vector<std::vector<CplxVector>> b(ns);
+  for (size_t s = 0; s < ns; ++s) b[s] = sourceEnvelope(sources[s], offsetFreq);
+
+  // Pass 1: propagate homogeneous (B) and particular (alpha) parts.
+  //   alpha_k = K_k^{-1}(D_k alpha_{k-1} + b_k),  B_k = K_k^{-1} D_k B_{k-1}.
+  // Cache the factored K_k for the second pass.
+  std::vector<DenseLU<Cplx>> lus;
+  lus.reserve(m);
+  CplxMatrix bMat = CplxMatrix::identity(n);
+  std::vector<CplxVector> alpha(ns, CplxVector(n, Cplx{}));
+  for (size_t k = 1; k <= m; ++k) {
+    const CplxMatrix kk = stepMatrix(pss_->gMats[k], pss_->cMats[k], invH, jw);
+    lus.emplace_back(kk);
+    const DenseLU<Cplx>& lu = lus.back();
+    // D_k = C_{k-1}/h (real), applied to complex vectors/matrices.
+    const RealMatrix& cPrev = pss_->cMats[k - 1];
+    auto applyD = [&](const CplxVector& v) {
+      CplxVector out(n, Cplx{});
+      for (size_t i = 0; i < n; ++i) {
+        Cplx acc{};
+        const auto row = cPrev.row(i);
+        for (size_t j = 0; j < n; ++j) acc += row[j] * v[j];
+        out[i] = acc * invH;
+      }
+      return out;
+    };
+    for (size_t s = 0; s < ns; ++s) {
+      CplxVector rhs = applyD(alpha[s]);
+      for (size_t i = 0; i < n; ++i) rhs[i] += b[s][k][i];
+      alpha[s] = lu.solve(rhs);
+    }
+    // B update, column by column.
+    CplxMatrix newB(n, n);
+    CplxVector col(n);
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t i = 0; i < n; ++i) col[i] = bMat(i, j);
+      CplxVector dcol = applyD(col);
+      lu.solveInPlace(dcol);
+      for (size_t i = 0; i < n; ++i) newB(i, j) = dcol[i];
+    }
+    bMat = std::move(newB);
+  }
+
+  // Cyclic closure: (I - B_M) p_0 = alpha_M, with the phase-mode spectral
+  // correction for oscillators.
+  const ClosureSolver closure(bMat, pss_->autonomous, kTwoPi * offsetFreq,
+                              pss_->period);
+
+  LptvSolution sol;
+  sol.omega = kTwoPi * offsetFreq;
+  sol.steps = m;
+  sol.envelopes.assign(ns, {});
+  for (size_t s = 0; s < ns; ++s) {
+    CplxVector p0 = closure.solve(alpha[s]);
+    // Pass 2: forward-substitute the full envelope with cached factors.
+    std::vector<CplxVector> env(m);
+    env[0] = p0;
+    CplxVector p = std::move(p0);
+    for (size_t k = 1; k < m; ++k) {
+      const RealMatrix& cPrev = pss_->cMats[k - 1];
+      CplxVector rhs(n, Cplx{});
+      for (size_t i = 0; i < n; ++i) {
+        Cplx acc{};
+        const auto row = cPrev.row(i);
+        for (size_t j = 0; j < n; ++j) acc += row[j] * p[j];
+        rhs[i] = acc * invH + b[s][k][i];
+      }
+      lus[k - 1].solveInPlace(rhs);
+      p = std::move(rhs);
+      env[k] = p;
+    }
+    sol.envelopes[s] = std::move(env);
+  }
+  return sol;
+}
+
+CplxVector LptvSolver::solveAdjoint(std::span<const InjectionSource> sources,
+                                    Real offsetFreq, int outIndex,
+                                    int harmonic) const {
+  const size_t n = sys_->size();
+  const size_t m = pss_->stepCount();
+  const Real h = pss_->stepSize();
+  const Real invH = 1.0 / h;
+  const Cplx jw(0.0, kTwoPi * offsetFreq);
+  PSMN_CHECK(outIndex >= 0 && outIndex < static_cast<int>(n),
+             "bad output index");
+
+  // Functional: P_N = sum_{k=0}^{M-1} w_k p_k[out] with p_0 == p_M, i.e. in
+  // terms of unknowns p_1..p_M the weight of p_M is w_0.
+  auto weight = [&](size_t k) {
+    const Real phase = -kTwoPi * harmonic * static_cast<Real>(k % m) / m;
+    return Cplx(std::cos(phase), std::sin(phase)) / static_cast<Real>(m);
+  };
+
+  // Adjoint cyclic system (plain transpose, matching the complex-linear
+  // functional):
+  //   K_k^T l_k - D_{k+1}^T l_{k+1} = w_k e_out   (k = 1..M-1)
+  //   K_M^T l_M - D_1^T   l_1       = w_0 e_out
+  // Parametrize l_k = u_k + V_k l_1 downward from k = M.
+  std::vector<DenseLU<Cplx>> lus;  // K_k factor, k=1..M (index k-1)
+  lus.reserve(m);
+  for (size_t k = 1; k <= m; ++k) {
+    lus.emplace_back(stepMatrix(pss_->gMats[k], pss_->cMats[k], invH, jw));
+  }
+
+  auto applyDT = [&](size_t k, const CplxVector& v) {
+    // D_k^T v with D_k = C_{k-1}/h.
+    const RealMatrix& cPrev = pss_->cMats[k - 1];
+    CplxVector out(n, Cplx{});
+    for (size_t i = 0; i < n; ++i) {
+      const Cplx vi = v[i];
+      if (vi == Cplx{}) continue;
+      const auto row = cPrev.row(i);
+      for (size_t j = 0; j < n; ++j) out[j] += row[j] * vi;
+    }
+    for (auto& o : out) o *= invH;
+    return out;
+  };
+
+  // u_k and V_k, stored for k=1..M.
+  std::vector<CplxVector> u(m + 1, CplxVector(n, Cplx{}));
+  std::vector<CplxMatrix> vMat(m + 1);
+  // k = M:
+  {
+    CplxVector rhs(n, Cplx{});
+    rhs[outIndex] = weight(0);  // w_0 attaches to p_M
+    u[m] = lus[m - 1].solveTransposed(rhs);
+    // V_M = K_M^{-T} D_1^T.
+    CplxMatrix vm(n, n);
+    CplxVector col(n);
+    for (size_t j = 0; j < n; ++j) {
+      // column j of D_1^T is row j of D_1 = C_0/h.
+      for (size_t i = 0; i < n; ++i) col[i] = pss_->cMats[0](j, i) * invH;
+      lus[m - 1].solveTransposedInPlace(col);
+      for (size_t i = 0; i < n; ++i) vm(i, j) = col[i];
+    }
+    vMat[m] = std::move(vm);
+  }
+  for (size_t k = m - 1; k >= 1; --k) {
+    // l_k = K_k^{-T}(w_k e_out + D_{k+1}^T (u_{k+1} + V_{k+1} l_1)).
+    CplxVector rhs = applyDT(k + 1, u[k + 1]);
+    rhs[outIndex] += weight(k);
+    u[k] = lus[k - 1].solveTransposed(rhs);
+    // V_k = K_k^{-T} D_{k+1}^T V_{k+1}.
+    CplxMatrix vk(n, n);
+    CplxVector col(n);
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t i = 0; i < n; ++i) col[i] = vMat[k + 1](i, j);
+      CplxVector dcol = applyDT(k + 1, col);
+      lus[k - 1].solveTransposedInPlace(dcol);
+      for (size_t i = 0; i < n; ++i) vk(i, j) = dcol[i];
+    }
+    vMat[k] = std::move(vk);
+  }
+  // Close: (I - V_1) l_1 = u_1. The adjoint closure matrix V_1 is a cyclic
+  // permutation-transpose of the forward one, so it shares the corrupted
+  // phase eigenvalue and receives the same spectral correction.
+  const ClosureSolver closure(vMat[1], pss_->autonomous,
+                              kTwoPi * offsetFreq, pss_->period);
+  CplxVector l1 = closure.solve(u[1]);
+
+  // Recover all lambda_k.
+  std::vector<CplxVector> lambda(m + 1);
+  lambda[1] = l1;
+  for (size_t k = m; k >= 2; --k) {
+    lambda[k] = u[k];
+    const CplxVector vl = matvec(vMat[k], std::span<const Cplx>(lambda[1]));
+    for (size_t i = 0; i < n; ++i) lambda[k][i] += vl[i];
+  }
+
+  // Transfer per source: TF_s = sum_k lambda_k^T b_{s,k}.
+  CplxVector out(sources.size(), Cplx{});
+  for (size_t s = 0; s < sources.size(); ++s) {
+    const auto b = sourceEnvelope(sources[s], offsetFreq);
+    Cplx acc{};
+    for (size_t k = 1; k <= m; ++k) {
+      for (size_t i = 0; i < n; ++i) acc += lambda[k][i] * b[k][i];
+    }
+    out[s] = acc;
+  }
+  return out;
+}
+
+}  // namespace psmn

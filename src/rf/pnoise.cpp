@@ -1,0 +1,69 @@
+#include "rf/pnoise.hpp"
+
+namespace psmn {
+
+PnoiseAnalysis::PnoiseAnalysis(const MnaSystem& sys, const PssResult& pss,
+                               PnoiseOptions opt)
+    : PnoiseAnalysis(
+          sys, pss,
+          sys.collectSources(opt.includeMismatch, opt.includePhysical), opt) {}
+
+PnoiseAnalysis::PnoiseAnalysis(const MnaSystem& sys, const PssResult& pss,
+                               std::vector<InjectionSource> sources,
+                               PnoiseOptions opt)
+    : sys_(&sys),
+      pss_(&pss),
+      opt_(opt),
+      sources_(std::move(sources)),
+      solver_(sys, pss) {
+  PSMN_CHECK(opt_.offsetFreq > 0.0, "offset frequency must be positive");
+  PSMN_CHECK(!sources_.empty(), "no injection sources");
+  const Real f0 = 1.0 / pss.period;
+  PSMN_CHECK(opt_.offsetFreq < 0.01 * f0,
+             "offset frequency must be far below the fundamental");
+}
+
+void PnoiseAnalysis::run() {
+  solution_ = solver_.solveDirect(sources_, opt_.offsetFreq);
+}
+
+const LptvSolution& PnoiseAnalysis::solution() const {
+  PSMN_CHECK(solution_.has_value(), "call run() first");
+  return *solution_;
+}
+
+PnoiseSideband PnoiseAnalysis::sideband(int outIndex, int harmonic) const {
+  PSMN_CHECK(solution_.has_value(), "call run() first");
+  PnoiseSideband sb;
+  sb.harmonic = harmonic;
+  sb.offsetFreq = opt_.offsetFreq;
+  sb.transfer.reserve(sources_.size());
+  sb.contribution.reserve(sources_.size());
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    const Cplx tf = solution_->harmonic(s, outIndex, harmonic);
+    const Real contrib = std::norm(tf) * sources_[s].psd(opt_.offsetFreq);
+    sb.transfer.push_back(tf);
+    sb.contribution.push_back(contrib);
+    sb.totalPsd += contrib;
+  }
+  return sb;
+}
+
+PnoiseSideband PnoiseAnalysis::sidebandAdjoint(int outIndex,
+                                               int harmonic) const {
+  PnoiseSideband sb;
+  sb.harmonic = harmonic;
+  sb.offsetFreq = opt_.offsetFreq;
+  sb.transfer =
+      solver_.solveAdjoint(sources_, opt_.offsetFreq, outIndex, harmonic);
+  sb.contribution.reserve(sources_.size());
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    const Real contrib =
+        std::norm(sb.transfer[s]) * sources_[s].psd(opt_.offsetFreq);
+    sb.contribution.push_back(contrib);
+    sb.totalPsd += contrib;
+  }
+  return sb;
+}
+
+}  // namespace psmn

@@ -1,0 +1,85 @@
+#include "rf/ppv.hpp"
+
+#include <cmath>
+
+#include "numeric/dense_lu.hpp"
+
+namespace psmn {
+
+PpvResult computePpv(const MnaSystem& sys, const PssResult& pss) {
+  PSMN_CHECK(pss.autonomous && pss.phaseIndex >= 0 && !pss.dxdT.empty(),
+             "computePpv needs an autonomous PSS result");
+  const size_t n = sys.size();
+  const size_t m = pss.stepCount();
+  const Real h = pss.stepSize();
+
+  // Transposed bordered system:
+  //   [ (Phi - I)^T  e_p ] [w_x]   [0]
+  //   [ dxdT^T       0   ] [w_T] = [1]
+  RealMatrix a(n + 1, n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) a(i, j) = pss.monodromy(j, i);
+    a(i, i) -= 1.0;
+  }
+  for (size_t j = 0; j < n; ++j) a(n, j) = pss.dxdT[j];  // row n: dxdT^T
+  a(pss.phaseIndex, n) = 1.0;                            // column n: e_phase
+
+  RealVector rhs(n + 1, 0.0);
+  rhs[n] = 1.0;
+  DenseLU<Real> lu(a);
+  const RealVector w = lu.solve(rhs);
+
+  PpvResult res;
+  res.wx.assign(w.begin(), w.begin() + n);
+  res.wT = w[n];
+
+  // Backward sweep: y_M = w_x; z_k = J_k^{-T} y_k; y_{k-1} = D_k^T z_k.
+  res.z.assign(m + 1, RealVector());
+  RealVector y = res.wx;
+  for (size_t k = m; k >= 1; --k) {
+    RealMatrix j = pss.gMats[k];
+    for (size_t r = 0; r < n; ++r) {
+      auto jr = j.row(r);
+      const auto cr = pss.cMats[k].row(r);
+      for (size_t c = 0; c < n; ++c) jr[c] += cr[c] / h;
+    }
+    DenseLU<Real> luJ(j);
+    RealVector zk = luJ.solveTransposed(y);
+    // y_{k-1} = D_k^T z_k with D_k = C_{k-1}/h.
+    RealVector yPrev = matvecT(pss.cMats[k - 1], std::span<const Real>(zk));
+    for (Real& v : yPrev) v /= h;
+    res.z[k] = std::move(zk);
+    y = std::move(yPrev);
+  }
+  return res;
+}
+
+Real PpvResult::periodSensitivity(const MnaSystem& sys, const PssResult& pss,
+                                  const InjectionSource& src) const {
+  const size_t m = pss.stepCount();
+  const Real h = pss.stepSize();
+  RealVector bf, bq, bqPrev;
+  sys.evalInjection(src, pss.states[0], pss.times[0], nullptr, &bqPrev);
+  Real acc = 0.0;
+  for (size_t k = 1; k <= m; ++k) {
+    sys.evalInjection(src, pss.states[k], pss.times[k], &bf, &bq);
+    const RealVector& zk = z[k];
+    for (size_t i = 0; i < zk.size(); ++i) {
+      acc += zk[i] * (bf[i] + (bq[i] - bqPrev[i]) / h);
+    }
+    bqPrev = bq;
+  }
+  // dT/dp = w_x^T dx(T)/dp = sum_k z_k^T g_k (signs: the BE recursion for
+  // the forward sensitivity is J_k s_k = D_k s_{k-1} - g_k, and
+  // dT/dp = -w_x^T s_M).
+  return acc;
+}
+
+Real PpvResult::frequencySensitivity(const MnaSystem& sys,
+                                     const PssResult& pss,
+                                     const InjectionSource& src) const {
+  const Real f0 = 1.0 / pss.period;
+  return -f0 * f0 * periodSensitivity(sys, pss, src);
+}
+
+}  // namespace psmn

@@ -1,0 +1,300 @@
+#include "rf/pss.hpp"
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "engine/dc.hpp"
+#include "meas/measure.hpp"
+#include "numeric/dense_lu.hpp"
+#include "numeric/fourier.hpp"
+
+namespace psmn {
+namespace {
+
+Real maxAbsVec(std::span<const Real> v) {
+  Real m = 0.0;
+  for (Real x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+struct PeriodIntegration {
+  RealVector xEnd;
+  std::vector<RealVector> states;   // 0..M
+  std::vector<RealMatrix> gMats;    // 0..M
+  std::vector<RealMatrix> cMats;    // 0..M
+  RealMatrix monodromy;             // only when wanted
+  size_t newtonIterations = 0;
+};
+
+/// Integrates one period [t0, t0+T] with M backward-Euler steps from x0.
+/// Optionally accumulates the monodromy matrix and stores the trajectory
+/// with its linearizations.
+PeriodIntegration integratePeriod(const MnaSystem& sys, const RealVector& x0,
+                                  Real t0, Real period, int steps,
+                                  const PssOptions& opt, bool wantMonodromy,
+                                  bool wantTrajectory) {
+  const size_t n = sys.size();
+  const Real h = period / steps;
+  PeriodIntegration out;
+
+  MnaSystem::EvalOptions eopt;
+  eopt.gshunt = opt.gshunt;
+
+  RealVector x = x0;
+  RealVector f, q, qPrev;
+  RealMatrix g, c, cPrev;
+  sys.evalDense(x, t0, nullptr, &qPrev, &g, &cPrev, eopt);
+  if (wantTrajectory) {
+    out.states.push_back(x);
+    out.gMats.push_back(g);
+    out.cMats.push_back(cPrev);
+  }
+  if (wantMonodromy) out.monodromy = RealMatrix::identity(n);
+
+  for (int k = 1; k <= steps; ++k) {
+    const Real t = t0 + h * k;
+    // Backward-Euler Newton: R = f(x1,t) + (q(x1) - qPrev)/h.
+    bool converged = false;
+    for (int iter = 0; iter < opt.maxNewton; ++iter) {
+      sys.evalDense(x, t, &f, &q, &g, &c, eopt);
+      RealVector r(n);
+      for (size_t i = 0; i < n; ++i) r[i] = f[i] + (q[i] - qPrev[i]) / h;
+      const Real resNorm = maxAbsVec(r);
+      // J = G + C/h.
+      for (size_t i = 0; i < n; ++i) {
+        auto grow = g.row(i);
+        const auto crow = c.row(i);
+        for (size_t j = 0; j < n; ++j) grow[j] += crow[j] / h;
+      }
+      DenseLU<Real> lu(g);
+      for (Real& v : r) v = -v;
+      const RealVector dx = lu.solve(r);
+      const Real stepNorm = maxAbsVec(dx);
+      Real scale = 1.0;
+      if (stepNorm > opt.newtonMaxStep) scale = opt.newtonMaxStep / stepNorm;
+      for (size_t i = 0; i < n; ++i) x[i] += scale * dx[i];
+      ++out.newtonIterations;
+      if (resNorm < opt.newtonResidualTol &&
+          stepNorm * scale < opt.newtonUpdateTol) {
+        converged = true;
+        break;
+      }
+    }
+    if (!converged) {
+      throw ConvergenceError("PSS inner Newton failed at step " +
+                             std::to_string(k));
+    }
+    // Linearization at the accepted point.
+    sys.evalDense(x, t, nullptr, &q, &g, &c, eopt);
+    if (wantMonodromy || wantTrajectory) {
+      RealMatrix j = g;
+      for (size_t i = 0; i < n; ++i) {
+        auto jr = j.row(i);
+        const auto cr = c.row(i);
+        for (size_t jj = 0; jj < n; ++jj) jr[jj] += cr[jj] / h;
+      }
+      if (wantMonodromy) {
+        // Phi <- J^{-1} (C_{k-1}/h) Phi.
+        DenseLU<Real> lu(j);
+        RealMatrix rhs = matmul(cPrev, out.monodromy);
+        rhs *= 1.0 / h;
+        out.monodromy = lu.solveMatrix(rhs);
+      }
+    }
+    if (wantTrajectory) {
+      out.states.push_back(x);
+      out.gMats.push_back(g);
+      out.cMats.push_back(c);
+    }
+    qPrev = q;
+    cPrev = c;
+  }
+  out.xEnd = std::move(x);
+  return out;
+}
+
+PssResult packResult(const MnaSystem& sys, const RealVector& x0, Real t0,
+                     Real period, int steps, const PssOptions& opt,
+                     int shootIters, size_t newtonIters) {
+  PeriodIntegration fin = integratePeriod(sys, x0, t0, period, steps, opt,
+                                          /*wantMonodromy=*/true,
+                                          /*wantTrajectory=*/true);
+  PssResult res;
+  res.period = period;
+  res.t0 = t0;
+  res.states = std::move(fin.states);
+  res.gMats = std::move(fin.gMats);
+  res.cMats = std::move(fin.cMats);
+  res.monodromy = std::move(fin.monodromy);
+  res.shootingIterations = shootIters;
+  res.newtonIterations = newtonIters + fin.newtonIterations;
+  const Real h = period / steps;
+  res.times.resize(steps + 1);
+  for (int k = 0; k <= steps; ++k) res.times[k] = t0 + h * k;
+  return res;
+}
+
+}  // namespace
+
+RealVector PssResult::waveform(int mnaIndex) const {
+  PSMN_CHECK(mnaIndex >= 0, "waveform of ground requested");
+  const size_t m = stepCount();
+  RealVector w(m);
+  for (size_t k = 0; k < m; ++k) w[k] = states[k][mnaIndex];
+  return w;
+}
+
+Cplx PssResult::fourier(int mnaIndex, int harmonic) const {
+  const RealVector w = waveform(mnaIndex);
+  return fourierCoefficient(w, harmonic);
+}
+
+Real PssResult::fundamentalAmplitude(int mnaIndex) const {
+  return 2.0 * std::abs(fourier(mnaIndex, 1));
+}
+
+RealVector pssWarmup(const MnaSystem& sys, Real period, int cycles,
+                     const PssOptions& opt, const RealVector* x0) {
+  RealVector x;
+  if (x0) {
+    x = *x0;
+  } else {
+    DcOptions dopt;
+    dopt.time = 0.0;
+    dopt.gshunt = opt.gshunt;
+    x = solveDc(sys, dopt).x;
+  }
+  for (int cyc = 0; cyc < cycles; ++cyc) {
+    PeriodIntegration pi =
+        integratePeriod(sys, x, cyc * period, period, opt.stepsPerPeriod, opt,
+                        false, false);
+    x = std::move(pi.xEnd);
+  }
+  return x;
+}
+
+PssResult solvePssDriven(const MnaSystem& sys, Real period,
+                         const PssOptions& opt, const RealVector* x0guess) {
+  PSMN_CHECK(period > 0.0, "period must be positive");
+  const size_t n = sys.size();
+  RealVector x0 = x0guess ? *x0guess
+                          : pssWarmup(sys, period, opt.warmupCycles, opt);
+  PSMN_CHECK(x0.size() == n, "bad initial guess size");
+
+  size_t newtonTotal = 0;
+  for (int iter = 0; iter < opt.maxShootingIterations; ++iter) {
+    PeriodIntegration pi = integratePeriod(
+        sys, x0, 0.0, period, opt.stepsPerPeriod, opt, true, false);
+    newtonTotal += pi.newtonIterations;
+    RealVector r(n);
+    for (size_t i = 0; i < n; ++i) r[i] = pi.xEnd[i] - x0[i];
+    const Real rNorm = maxAbsVec(r);
+    if (rNorm < opt.shootingTol) {
+      return packResult(sys, x0, 0.0, period, opt.stepsPerPeriod, opt,
+                        iter + 1, newtonTotal);
+    }
+    // Newton: dx0 = (I - Phi)^{-1} r.
+    RealMatrix iMinusPhi = RealMatrix::identity(n);
+    iMinusPhi -= pi.monodromy;
+    DenseLU<Real> lu(iMinusPhi);
+    const RealVector dx0 = lu.solve(r);
+    for (size_t i = 0; i < n; ++i) x0[i] += opt.relax * dx0[i];
+  }
+  throw ConvergenceError("driven PSS shooting did not converge");
+}
+
+PssResult solvePssAutonomous(const MnaSystem& sys, Real periodGuess,
+                             int phaseIndex, const RealVector& x0guess,
+                             const PssOptions& opt) {
+  PSMN_CHECK(periodGuess > 0.0, "period guess must be positive");
+  const size_t n = sys.size();
+  PSMN_CHECK(phaseIndex >= 0 && phaseIndex < static_cast<int>(n),
+             "bad phase index");
+  PSMN_CHECK(x0guess.size() == n, "bad initial guess size");
+
+  RealVector x0 = x0guess;
+  Real period = periodGuess;
+  const Real phaseLevel = x0[phaseIndex];
+
+  size_t newtonTotal = 0;
+  for (int iter = 0; iter < opt.maxShootingIterations; ++iter) {
+    PeriodIntegration pi = integratePeriod(sys, x0, 0.0, period,
+                                           opt.stepsPerPeriod, opt, true,
+                                           false);
+    newtonTotal += pi.newtonIterations;
+    RealVector r(n);
+    for (size_t i = 0; i < n; ++i) r[i] = pi.xEnd[i] - x0[i];
+    const Real rNorm = maxAbsVec(r);
+    const Real phaseRes = x0[phaseIndex] - phaseLevel;
+    if (rNorm < opt.shootingTol && std::fabs(phaseRes) < opt.shootingTol) {
+      PssResult res = packResult(sys, x0, 0.0, period, opt.stepsPerPeriod,
+                                 opt, iter + 1, newtonTotal);
+      res.autonomous = true;
+      res.phaseIndex = phaseIndex;
+      // d x(T)/dT at the solution, for the adjoint period sensitivity.
+      const Real dT = 1e-7 * period;
+      PeriodIntegration piT = integratePeriod(sys, x0, 0.0, period + dT,
+                                              opt.stepsPerPeriod, opt, false,
+                                              false);
+      res.dxdT.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        res.dxdT[i] = (piT.xEnd[i] - pi.xEnd[i]) / dT;
+      }
+      return res;
+    }
+    // dx(T)/dT by finite-differencing the whole integration.
+    const Real dT = 1e-7 * period;
+    PeriodIntegration piT = integratePeriod(sys, x0, 0.0, period + dT,
+                                            opt.stepsPerPeriod, opt, false,
+                                            false);
+    newtonTotal += piT.newtonIterations;
+    RealVector dxdT(n);
+    for (size_t i = 0; i < n; ++i) dxdT[i] = (piT.xEnd[i] - pi.xEnd[i]) / dT;
+
+    // Bordered Newton system on (x0, T):
+    //   [ Phi - I   dxdT ] [dx0]   [ -r        ]
+    //   [ e_p^T     0    ] [dT ] = [ -phaseRes ]
+    RealMatrix a(n + 1, n + 1);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) a(i, j) = pi.monodromy(i, j);
+      a(i, i) -= 1.0;
+      a(i, n) = dxdT[i];
+    }
+    a(n, phaseIndex) = 1.0;
+    RealVector rhs(n + 1);
+    for (size_t i = 0; i < n; ++i) rhs[i] = -r[i];
+    rhs[n] = -phaseRes;
+    DenseLU<Real> lu(a);
+    const RealVector upd = lu.solve(rhs);
+    for (size_t i = 0; i < n; ++i) x0[i] += opt.relax * upd[i];
+    period += opt.relax * upd[n];
+    PSMN_CHECK(period > 0.0, "autonomous shooting drove the period negative");
+  }
+  throw ConvergenceError("autonomous PSS shooting did not converge");
+}
+
+
+RingWarmup warmupRingOscillator(const MnaSystem& sys,
+                                const RingOscillatorCircuit& osc,
+                                Real runTime, Real dt) {
+  const Netlist& nl = sys.netlist();
+  RingWarmup w;
+  w.phaseIndex = nl.nodeIndex(osc.stages[0]);
+  RealVector kick = solveDc(sys, {}).x;
+  for (size_t i = 0; i < osc.stages.size(); ++i) {
+    kick[nl.nodeIndex(osc.stages[i])] += (i % 2 ? 0.25 : -0.25);
+  }
+  TranOptions topt;
+  topt.method = IntegrationMethod::kBackwardEuler;
+  topt.initialState = &kick;
+  const TransientResult tr = runTransient(sys, 0.0, runTime, dt, topt);
+  const Waveform wave = makeWaveform(tr.times, tr.states, w.phaseIndex);
+  const Real lo = *std::min_element(wave.values.begin(), wave.values.end());
+  const Real hi = *std::max_element(wave.values.begin(), wave.values.end());
+  w.periodEstimate = measurePeriod(wave, 0.5 * (lo + hi), 3);
+  w.state = tr.finalState;
+  return w;
+}
+
+}  // namespace psmn

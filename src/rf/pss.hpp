@@ -1,0 +1,101 @@
+// Periodic steady-state (PSS) analysis via shooting Newton, for driven
+// circuits (fixed period) and autonomous oscillators (period is an extra
+// unknown, pinned by a phase condition).
+//
+// The integration inside shooting uses fixed-step backward Euler so that
+// the state-transition (monodromy) matrix is exactly the product of the
+// per-step companion Jacobians:
+//   x_{k+1}: (G_{k+1} + C_{k+1}/h) dx_{k+1} = (C_k/h) dx_k
+//   =>  Phi = prod_k J_k^{-1} (C_{k-1}/h).
+// Shooting solves x(T; x0) = x0 by Newton on x0 with Jacobian (Phi - I).
+// Stability of the orbit is NOT required (the comparator's regenerative
+// metastable orbit has a Floquet multiplier >> 1 and converges fine),
+// which is exactly why the paper's comparator testbench (Fig. 6) is
+// tractable here while plain transient settling is slow.
+#pragma once
+
+#include "circuit/stdcell.hpp"
+#include "engine/mna.hpp"
+#include "engine/transient.hpp"
+
+namespace psmn {
+
+struct PssOptions {
+  int stepsPerPeriod = 400;
+  int maxShootingIterations = 60;
+  Real shootingTol = 1e-9;   // on max|x(T) - x0|
+  int warmupCycles = 3;      // transient cycles to build the initial guess
+  Real gshunt = 0.0;
+  Real relax = 1.0;          // damping on the shooting update
+  // Inner Newton controls (per integration step).
+  int maxNewton = 60;
+  Real newtonResidualTol = 1e-10;
+  Real newtonUpdateTol = 1e-10;
+  Real newtonMaxStep = 0.5;  // dx clamp (V)
+  bool quiet = true;
+};
+
+struct PssResult {
+  Real period = 0.0;
+  Real t0 = 0.0;  // absolute start time of the stored period
+  /// True for oscillator solutions: the LPTV solver then applies the
+  /// phase-mode spectral correction to the cyclic closure (see lptv.cpp).
+  bool autonomous = false;
+  /// Autonomous only: the phase-condition unknown and d x(T)/dT at the
+  /// solution (used by the discrete-adjoint period sensitivity, rf/ppv).
+  int phaseIndex = -1;
+  RealVector dxdT;
+  /// M+1 uniformly spaced points over one period; states[M] == states[0]
+  /// to shooting tolerance.
+  std::vector<Real> times;
+  std::vector<RealVector> states;
+  /// Linearization along the orbit: gMats[k], cMats[k] at times[k], k=0..M.
+  std::vector<RealMatrix> gMats;
+  std::vector<RealMatrix> cMats;
+  RealMatrix monodromy;
+  int shootingIterations = 0;
+  size_t newtonIterations = 0;  // total inner iterations (cost reporting)
+
+  size_t stepCount() const { return times.empty() ? 0 : times.size() - 1; }
+  Real stepSize() const { return period / static_cast<Real>(stepCount()); }
+
+  /// Periodic samples (M points, last point excluded) of one unknown.
+  RealVector waveform(int mnaIndex) const;
+  /// Fourier coefficient X_N of that waveform.
+  Cplx fourier(int mnaIndex, int harmonic) const;
+  /// Amplitude of the fundamental, Ac = 2|X_1| (paper eq. 7).
+  Real fundamentalAmplitude(int mnaIndex) const;
+};
+
+/// Driven PSS: sources must be periodic with the given period (or DC).
+/// `x0guess` overrides the DC+warmup initial guess.
+PssResult solvePssDriven(const MnaSystem& sys, Real period,
+                         const PssOptions& opt = {},
+                         const RealVector* x0guess = nullptr);
+
+/// Autonomous PSS: period is solved for. `phaseIndex` selects the unknown
+/// whose initial value is frozen as the phase condition; `x0guess` must be
+/// a point near the orbit (e.g. from a warmup transient) and `periodGuess`
+/// within roughly 20% of the true period.
+PssResult solvePssAutonomous(const MnaSystem& sys, Real periodGuess,
+                             int phaseIndex, const RealVector& x0guess,
+                             const PssOptions& opt = {});
+
+/// Utility: runs an `initCycles`-long transient at fixed step and returns
+/// the final state (the standard way to seed shooting).
+RealVector pssWarmup(const MnaSystem& sys, Real period, int cycles,
+                     const PssOptions& opt, const RealVector* x0 = nullptr);
+
+/// Kicks a ring oscillator from its (metastable) DC point, free-runs it to
+/// the limit cycle with backward Euler, and returns the warm state plus a
+/// measured period estimate — the standard seed for solvePssAutonomous.
+struct RingWarmup {
+  RealVector state;
+  Real periodEstimate = 0.0;
+  int phaseIndex = -1;
+};
+RingWarmup warmupRingOscillator(const MnaSystem& sys,
+                                const RingOscillatorCircuit& osc,
+                                Real runTime = 30e-9, Real dt = 10e-12);
+
+}  // namespace psmn

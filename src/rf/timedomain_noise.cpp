@@ -1,0 +1,41 @@
+#include "rf/timedomain_noise.hpp"
+
+#include <cmath>
+
+namespace psmn {
+
+RealVector StatisticalWaveform::upper3() const {
+  RealVector out(nominal.size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = nominal[i] + 3.0 * sigma[i];
+  return out;
+}
+
+RealVector StatisticalWaveform::lower3() const {
+  RealVector out(nominal.size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = nominal[i] - 3.0 * sigma[i];
+  return out;
+}
+
+StatisticalWaveform statisticalWaveform(const PnoiseAnalysis& pnoise,
+                                        int outIndex) {
+  const LptvSolution& sol = pnoise.solution();
+  const PssResult& pss = pnoise.pss();
+  const auto& sources = pnoise.sources();
+  const size_t m = sol.steps;
+
+  StatisticalWaveform w;
+  w.times.assign(pss.times.begin(), pss.times.begin() + m);
+  w.nominal = pss.waveform(outIndex);
+  w.sigma.assign(m, 0.0);
+  const Real f = pnoise.offsetFreq();
+  for (size_t k = 0; k < m; ++k) {
+    Real var = 0.0;
+    for (size_t s = 0; s < sources.size(); ++s) {
+      var += std::norm(sol.envelopes[s][k][outIndex]) * sources[s].psd(f);
+    }
+    w.sigma[k] = std::sqrt(var);
+  }
+  return w;
+}
+
+}  // namespace psmn

@@ -1,0 +1,25 @@
+// Time-domain cyclostationary noise: sigma(t) of an output along the
+// periodic steady state (paper Fig. 8 "statistical waveform").
+//
+// With quasi-static mismatch pseudo-noise (offset 1 Hz), the complex
+// envelope p^{(i)}(t) is the per-parameter sensitivity of the whole orbit,
+// so the point-wise standard deviation is
+//   sigma(t_k)^2 = sum_i |p^{(i)}_k[out]|^2 * sigma_i^2.
+#pragma once
+
+#include "rf/pnoise.hpp"
+
+namespace psmn {
+
+struct StatisticalWaveform {
+  std::vector<Real> times;    // one period
+  RealVector nominal;         // PSS waveform
+  RealVector sigma;           // sigma(t)
+  RealVector upper3() const;  // nominal + 3 sigma
+  RealVector lower3() const;  // nominal - 3 sigma
+};
+
+StatisticalWaveform statisticalWaveform(const PnoiseAnalysis& pnoise,
+                                        int outIndex);
+
+}  // namespace psmn

@@ -1,0 +1,15 @@
+#include "util/status.hpp"
+
+#include <sstream>
+
+namespace psmn::detail {
+
+void throwCheckFailure(const char* cond, const char* file, int line,
+                       const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace psmn::detail

@@ -1,0 +1,51 @@
+// Error handling for psmn.
+//
+// The library reports unrecoverable misuse (bad netlist, singular matrix,
+// non-convergence) via exceptions derived from psmn::Error, following the
+// C++ Core Guidelines (E.2: throw to signal that a function can't do its job).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace psmn {
+
+/// Base class for all psmn errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Netlist construction / parsing problems.
+class NetlistError : public Error {
+ public:
+  explicit NetlistError(const std::string& what) : Error(what) {}
+};
+
+/// Numerical failures (singular systems, ill-conditioning).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// Iterative analyses that failed to converge (Newton, shooting, ...).
+class ConvergenceError : public Error {
+ public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throwCheckFailure(const char* cond, const char* file,
+                                    int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace psmn
+
+/// Precondition / invariant check; throws psmn::Error when violated.
+/// Always active (these guard API misuse, not hot loops).
+#define PSMN_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::psmn::detail::throwCheckFailure(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,80 @@
+#include "util/units.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace psmn {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string toLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<double> parseSpiceNumber(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::string buf(text);
+  const char* begin = buf.c_str();
+  char* end = nullptr;
+  double value = std::strtod(begin, &end);
+  if (end == begin) return std::nullopt;
+
+  std::string_view rest(end);
+  double scale = 1.0;
+  if (!rest.empty()) {
+    // "meg" must be checked before "m".
+    if (rest.size() >= 3 && iequals(rest.substr(0, 3), "meg")) {
+      scale = 1e6;
+    } else {
+      switch (std::tolower(static_cast<unsigned char>(rest[0]))) {
+        case 'f': scale = 1e-15; break;
+        case 'p': scale = 1e-12; break;
+        case 'n': scale = 1e-9; break;
+        case 'u': scale = 1e-6; break;
+        case 'm': scale = 1e-3; break;
+        case 'k': scale = 1e3; break;
+        case 'g': scale = 1e9; break;
+        case 't': scale = 1e12; break;
+        default: scale = 1.0; break;  // bare unit letters like "V"
+      }
+    }
+  }
+  return value * scale;
+}
+
+std::string formatEng(double value, int digits) {
+  if (value == 0.0 || !std::isfinite(value)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*g", digits, value);
+    return buf;
+  }
+  static const struct { double scale; const char* suffix; } kBands[] = {
+      {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+  };
+  const double mag = std::fabs(value);
+  for (const auto& band : kBands) {
+    if (mag >= band.scale * 0.9999999 || band.scale == 1e-15) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.*g%s", digits, value / band.scale,
+                    band.suffix);
+      return buf;
+    }
+  }
+  return std::to_string(value);
+}
+
+}  // namespace psmn

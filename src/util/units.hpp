@@ -1,0 +1,27 @@
+// SPICE-style engineering-number parsing and formatting.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace psmn {
+
+/// Parses a SPICE number with optional engineering suffix:
+///   f(emto) p(ico) n(ano) u(micro) m(illi) k(ilo) meg(a) g(iga) t(era).
+/// Suffix matching is case-insensitive; trailing unit letters after the
+/// suffix are ignored, as in SPICE ("10pF", "3.3k", "2MEG").
+/// Returns nullopt if the string does not start with a valid number.
+std::optional<double> parseSpiceNumber(std::string_view text);
+
+/// Formats a value in engineering notation with a unit, e.g. "28.7m" or
+/// "1.25G". `digits` is the number of significant digits.
+std::string formatEng(double value, int digits = 4);
+
+/// Case-insensitive ASCII string comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Lower-cases an ASCII string.
+std::string toLower(std::string_view s);
+
+}  // namespace psmn

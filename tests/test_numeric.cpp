@@ -1,0 +1,377 @@
+// Unit and property tests for the numeric substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "numeric/cholesky.hpp"
+#include "numeric/dense_lu.hpp"
+#include "numeric/fourier.hpp"
+#include "numeric/interp.hpp"
+#include "numeric/rng.hpp"
+#include "numeric/sparse_lu.hpp"
+#include "numeric/statistics.hpp"
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace psmn {
+namespace {
+
+RealMatrix randomMatrix(size_t n, Rng& rng, Real diagBoost = 2.0) {
+  RealMatrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+    a(i, i) += diagBoost;
+  }
+  return a;
+}
+
+// ------------------------------------------------------------ dense LU
+
+class DenseLuSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DenseLuSizes, SolvesRandomSystem) {
+  const size_t n = GetParam();
+  Rng rng(42 + n);
+  const RealMatrix a = randomMatrix(n, rng);
+  RealVector xTrue(n);
+  for (auto& v : xTrue) v = rng.uniform(-5.0, 5.0);
+  const RealVector b = matvec(a, std::span<const Real>(xTrue));
+  const RealVector x = luSolve(a, std::span<const Real>(b));
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xTrue[i], 1e-9);
+}
+
+TEST_P(DenseLuSizes, TransposedSolveMatchesExplicitTranspose) {
+  const size_t n = GetParam();
+  Rng rng(142 + n);
+  const RealMatrix a = randomMatrix(n, rng);
+  RealVector b(n);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  DenseLU<Real> lu(a);
+  const RealVector x1 = lu.solveTransposed(b);
+  const RealVector x2 = luSolve(transpose(a), std::span<const Real>(b));
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DenseLuSizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 40));
+
+TEST(DenseLu, ComplexSolve) {
+  Rng rng(7);
+  const size_t n = 6;
+  CplxMatrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j)
+      a(i, j) = Cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    a(i, i) += 3.0;
+  }
+  CplxVector xTrue(n);
+  for (auto& v : xTrue) v = Cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  const CplxVector b = matvec(a, std::span<const Cplx>(xTrue));
+  const CplxVector x = luSolve(a, std::span<const Cplx>(b));
+  for (size_t i = 0; i < n; ++i) EXPECT_LT(std::abs(x[i] - xTrue[i]), 1e-10);
+}
+
+TEST(DenseLu, ComplexTransposedSolve) {
+  Rng rng(17);
+  const size_t n = 5;
+  CplxMatrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j)
+      a(i, j) = Cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    a(i, i) += 3.0;
+  }
+  CplxVector b(n);
+  for (auto& v : b) v = Cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  DenseLU<Cplx> lu(a);
+  const CplxVector x1 = lu.solveTransposed(b);
+  const CplxVector x2 = luSolve(transpose(a), std::span<const Cplx>(b));
+  for (size_t i = 0; i < n; ++i) EXPECT_LT(std::abs(x1[i] - x2[i]), 1e-10);
+}
+
+TEST(DenseLu, ThrowsOnSingular) {
+  RealMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_THROW(DenseLU<Real>{a}, NumericalError);
+}
+
+TEST(DenseLu, PivotsZeroDiagonal) {
+  // MNA-style matrix with a zero diagonal entry that needs pivoting.
+  RealMatrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const RealVector b{3.0, 4.0};
+  const RealVector x = luSolve(a, std::span<const Real>(b));
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(DenseLu, InverseTimesMatrixIsIdentity) {
+  Rng rng(3);
+  const RealMatrix a = randomMatrix(7, rng);
+  const RealMatrix ainv = inverse(a);
+  const RealMatrix prod = matmul(a, ainv);
+  EXPECT_LT(maxAbsDiff(prod, RealMatrix::identity(7)), 1e-9);
+}
+
+// ------------------------------------------------------------ sparse LU
+
+class SparseLuSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SparseLuSizes, MatchesDenseOnRandomSparseSystem) {
+  const size_t n = GetParam();
+  Rng rng(1000 + n);
+  // Random sparse-ish matrix with guaranteed nonzero diagonal.
+  RealMatrix dense(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    dense(i, i) = rng.uniform(1.0, 3.0);
+    for (size_t k = 0; k < 3; ++k) {
+      const auto j = static_cast<size_t>(rng.uniform(0.0, 1.0) * n);
+      if (j < n && j != i) dense(i, j) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  RealVector xTrue(n);
+  for (auto& v : xTrue) v = rng.uniform(-2.0, 2.0);
+  const RealVector b = matvec(dense, std::span<const Real>(xTrue));
+
+  const auto sparse = RealSparse::fromDense(dense);
+  SparseLU<Real> lu(sparse);
+  const RealVector x = lu.solve(b);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xTrue[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SparseLuSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128));
+
+TEST(SparseMatrix, TripletsSumDuplicates) {
+  std::vector<Triplet<Real>> trips{{0, 0, 1.0}, {0, 0, 2.0}, {1, 0, -1.0}};
+  const auto m = RealSparse::fromTriplets(2, 2, trips);
+  EXPECT_EQ(m.nonZeros(), 2u);
+  EXPECT_DOUBLE_EQ(m.toDense()(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.toDense()(1, 0), -1.0);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  Rng rng(5);
+  RealMatrix dense(4, 4);
+  dense(0, 0) = 2;
+  dense(1, 2) = -1;
+  dense(3, 1) = 4;
+  dense(2, 2) = 1;
+  const auto sp = RealSparse::fromDense(dense);
+  RealVector x{1, 2, 3, 4};
+  const auto y1 = sp.multiply(x);
+  const auto y2 = matvec(dense, std::span<const Real>(x));
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+}
+
+TEST(SparseLu, ThrowsOnSingular) {
+  RealMatrix dense(2, 2);
+  dense(0, 0) = 1.0;  // second row all zero
+  const auto sp = RealSparse::fromDense(dense);
+  EXPECT_THROW(SparseLU<Real>{sp}, NumericalError);
+}
+
+// ------------------------------------------------------------- cholesky
+
+TEST(Cholesky, ReconstructsCovariance) {
+  Rng rng(11);
+  const size_t n = 5;
+  RealMatrix b = randomMatrix(n, rng, 0.5);
+  RealMatrix c(n, n);
+  // C = B B^T is symmetric PSD.
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) {
+      Real acc = 0;
+      for (size_t k = 0; k < n; ++k) acc += b(i, k) * b(j, k);
+      c(i, j) = acc;
+    }
+  const RealMatrix a = choleskyFactor(c);
+  RealMatrix recon(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) {
+      Real acc = 0;
+      for (size_t k = 0; k < n; ++k) acc += a(i, k) * a(j, k);
+      recon(i, j) = acc;
+    }
+  EXPECT_LT(maxAbsDiff(recon, c), 1e-9);
+}
+
+TEST(Cholesky, AcceptsSemiDefinitePerfectCorrelation) {
+  RealMatrix c(2, 2);
+  c(0, 0) = 1.0;
+  c(0, 1) = 1.0;
+  c(1, 0) = 1.0;
+  c(1, 1) = 1.0;
+  const RealMatrix a = choleskyFactor(c);
+  EXPECT_NEAR(a(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(a(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(a(1, 1), 0.0, 1e-6);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  RealMatrix c(2, 2);
+  c(0, 0) = 1.0;
+  c(0, 1) = 2.0;
+  c(1, 0) = 2.0;
+  c(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_THROW(choleskyFactor(c), NumericalError);
+}
+
+TEST(Cholesky, RejectsAsymmetric) {
+  RealMatrix c(2, 2);
+  c(0, 0) = 1.0;
+  c(0, 1) = 0.5;
+  c(1, 0) = 0.1;
+  c(1, 1) = 1.0;
+  EXPECT_THROW(choleskyFactor(c), Error);
+}
+
+// -------------------------------------------------------------- fourier
+
+TEST(Fourier, RecoversSingleTone) {
+  const int m = 64;
+  RealVector x(m);
+  const Real amp = 1.7, phase = 0.6;
+  for (int k = 0; k < m; ++k) {
+    x[k] = amp * std::cos(2.0 * std::numbers::pi * 3.0 * k / m + phase);
+  }
+  const Cplx c3 = fourierCoefficient(x, 3);
+  EXPECT_NEAR(2.0 * std::abs(c3), amp, 1e-12);
+  EXPECT_NEAR(std::arg(c3), phase, 1e-12);
+  EXPECT_NEAR(std::abs(fourierCoefficient(x, 1)), 0.0, 1e-12);
+  EXPECT_NEAR(harmonicAmplitude(x, 3), amp, 1e-12);
+}
+
+TEST(Fourier, DcCoefficientIsMean) {
+  RealVector x{1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(fourierCoefficient(x, 0).real(), 2.5, 1e-14);
+  EXPECT_NEAR(fourierCoefficient(x, 0).imag(), 0.0, 1e-14);
+}
+
+TEST(Fourier, EvalReconstructsSamples) {
+  const int m = 32;
+  RealVector x(m);
+  for (int k = 0; k < m; ++k) {
+    const Real u = static_cast<Real>(k) / m;
+    x[k] = 0.4 + std::sin(2 * std::numbers::pi * u) -
+           0.3 * std::cos(2 * std::numbers::pi * 2 * u);
+  }
+  const auto coeffs = fourierCoefficients(x, 8);
+  for (int k = 0; k < m; ++k) {
+    EXPECT_NEAR(fourierEval(coeffs, static_cast<Real>(k) / m), x[k], 1e-10);
+  }
+}
+
+// ------------------------------------------------------------ statistics
+
+TEST(Moments, MatchesClosedFormOnSmallSet) {
+  MomentAccumulator acc;
+  for (Real v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+}
+
+TEST(Moments, GaussianSampleStatistics) {
+  Rng rng(123);
+  MomentAccumulator acc;
+  const Real mu = 3.0, sd = 2.0;
+  for (int i = 0; i < 200000; ++i) acc.add(rng.gaussian(mu, sd));
+  EXPECT_NEAR(acc.mean(), mu, 0.02);
+  EXPECT_NEAR(acc.stddev(), sd, 0.02);
+  EXPECT_NEAR(acc.skewness(), 0.0, 0.03);
+}
+
+TEST(Moments, SkewedDistributionHasPositiveSkew) {
+  Rng rng(9);
+  MomentAccumulator acc;
+  for (int i = 0; i < 100000; ++i) {
+    const Real g = rng.gaussian();
+    acc.add(g * g);  // chi-square(1), skewness 2*sqrt(2)
+  }
+  EXPECT_NEAR(acc.skewness(), 2.0 * std::sqrt(2.0), 0.15);
+  EXPECT_GT(acc.normalizedSkewness(), 0.0);
+}
+
+TEST(Moments, MergeEqualsSequential) {
+  Rng rng(77);
+  MomentAccumulator all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const Real v = rng.uniform(-1, 5);
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_NEAR(a.skewness(), all.skewness(), 1e-9);
+}
+
+TEST(Correlation, RecoverKnownCorrelation) {
+  Rng rng(55);
+  const Real rho = 0.7;
+  CorrelationAccumulator acc;
+  for (int i = 0; i < 200000; ++i) {
+    const Real x = rng.gaussian();
+    const Real y = rho * x + std::sqrt(1 - rho * rho) * rng.gaussian();
+    acc.add(x, y);
+  }
+  EXPECT_NEAR(acc.correlation(), rho, 0.01);
+}
+
+TEST(Statistics, ConfidenceMatchesPaperNumbers) {
+  // Paper SS VI: 1000-point MC -> +-4.5%, 10000-point -> +-1.4%.
+  EXPECT_NEAR(sigmaConfidence95(1000), 0.044, 0.002);
+  EXPECT_NEAR(sigmaConfidence95(10000), 0.014, 0.001);
+}
+
+TEST(Rng, DeterministicPerSampleStreams) {
+  Rng a = Rng::forSample(1, 7);
+  Rng b = Rng::forSample(1, 7);
+  Rng c = Rng::forSample(1, 8);
+  const Real va = a.gaussian();
+  EXPECT_DOUBLE_EQ(va, b.gaussian());
+  EXPECT_NE(va, c.gaussian());
+}
+
+// ------------------------------------------------------------ interp/units
+
+TEST(Interp, LinearInterpolation) {
+  RealVector xs{0.0, 1.0, 2.0};
+  RealVector ys{0.0, 10.0, 0.0};
+  EXPECT_DOUBLE_EQ(interpLinear(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interpLinear(xs, ys, 1.5), 5.0);
+  EXPECT_DOUBLE_EQ(interpLinear(xs, ys, -1.0), 0.0);  // clamps
+  EXPECT_DOUBLE_EQ(interpLinear(xs, ys, 3.0), 0.0);
+}
+
+TEST(Interp, CrossingPoint) {
+  EXPECT_DOUBLE_EQ(crossingPoint(0.0, 0.0, 1.0, 2.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(crossingPoint(2.0, 1.0, 4.0, -1.0, 0.0), 3.0);
+}
+
+TEST(Units, ParsesSuffixes) {
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("10p"), 1e-11);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("3.3k"), 3300.0);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("2MEG"), 2e6);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("2m"), 2e-3);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("1.5u"), 1.5e-6);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("100n"), 1e-7);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("4f"), 4e-15);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("7"), 7.0);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("10pF"), 1e-11);
+  EXPECT_FALSE(parseSpiceNumber("volt").has_value());
+}
+
+TEST(Units, FormatsEngineering) {
+  EXPECT_EQ(formatEng(0.0287, 3), "28.7m");
+  EXPECT_EQ(formatEng(1.25e9, 3), "1.25G");
+}
+
+}  // namespace
+}  // namespace psmn
