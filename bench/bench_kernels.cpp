@@ -1,9 +1,11 @@
 // Microbenchmarks of the solver kernels (google-benchmark): dense/sparse
-// LU, one MNA evaluation, one transient step, one shooting-PSS solve.
+// LU factor/refactor/multi-RHS, one MNA evaluation, dense-vs-sparse
+// transient steps and transient sensitivity, one shooting-PSS solve.
 #include <benchmark/benchmark.h>
 
 #include "circuit/stdcell.hpp"
 #include "engine/transient.hpp"
+#include "engine/transient_sensitivity.hpp"
 #include "numeric/dense_lu.hpp"
 #include "numeric/rng.hpp"
 #include "numeric/sparse_lu.hpp"
@@ -62,6 +64,58 @@ void BM_SparseLuFactor(benchmark::State& state) {
 }
 BENCHMARK(BM_SparseLuFactor)->Arg(32)->Arg(128)->Arg(512);
 
+RealSparse randomSparse(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  RealMatrix dense(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    dense(i, i) = 4.0;
+    for (int k = 0; k < 4; ++k) {
+      const auto j = static_cast<size_t>(rng.uniform(0.0, 1.0) * n);
+      if (j < n) dense(i, j) += rng.uniform(-1.0, 1.0);
+    }
+  }
+  return RealSparse::fromDense(dense);
+}
+
+void BM_SparseLuRefactor(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto sp = randomSparse(n, n);
+  SparseLU<Real> lu(sp);
+  for (auto _ : state) {
+    const bool ok = lu.refactor(sp);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_SparseLuRefactor)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_SparseLuSolveMulti(benchmark::State& state) {
+  // Batched multi-RHS substitution (the sensitivity engine's inner kernel)
+  // vs. `nrhs` scattered solves at the same factorization.
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto nrhs = static_cast<size_t>(state.range(1));
+  const SparseLU<Real> lu(randomSparse(n, n));
+  RealVector batch(n * nrhs, 1.0);
+  for (auto _ : state) {
+    lu.solveManyInPlace(batch, nrhs);
+    benchmark::DoNotOptimize(batch);
+  }
+}
+BENCHMARK(BM_SparseLuSolveMulti)->Args({128, 1})->Args({128, 16})->Args({128, 64});
+
+void BM_SparseLuSolveScattered(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto nrhs = static_cast<size_t>(state.range(1));
+  const SparseLU<Real> lu(randomSparse(n, n));
+  RealVector batch(n * nrhs, 1.0);
+  for (auto _ : state) {
+    for (size_t r = 0; r < nrhs; ++r) {
+      lu.solveInPlace(std::span<Real>(batch.data() + r * n, n));
+    }
+    benchmark::DoNotOptimize(batch);
+  }
+}
+BENCHMARK(BM_SparseLuSolveScattered)->Args({128, 16})->Args({128, 64});
+
 void BM_MnaEvalComparator(benchmark::State& state) {
   Netlist nl;
   auto kit = ProcessKit::cmos130();
@@ -97,6 +151,98 @@ void BM_TransientRingOscPeriod(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TransientRingOscPeriod);
+
+// ------------------------------------------------- dense vs sparse engines
+
+/// One BE transient step (Newton + linear solves) on an N-stage ring
+/// oscillator, per backend. The argument is the stage count; MNA unknowns
+/// = stages + 2. The sparse path's cached-pattern assembly and symbolic
+/// reuse make this scale near-linearly where dense grows as n^3.
+void transientStepBench(benchmark::State& state, LinearSolverKind solver) {
+  const int stages = static_cast<int>(state.range(0));
+  Netlist nl;
+  auto kit = ProcessKit::cmos130();
+  RingOscillatorOptions oopt;
+  oopt.stages = stages;
+  const auto osc = buildRingOscillator(nl, kit, oopt);
+  MnaSystem sys(nl);
+  const size_t n = sys.size();
+
+  TranOptions opt;
+  opt.method = IntegrationMethod::kBackwardEuler;
+  opt.solver = solver;
+  RealVector x0 = solveDc(sys, {}).x;
+  for (size_t i = 0; i < osc.stages.size(); ++i) {
+    x0[nl.nodeIndex(osc.stages[i])] += (i % 2 ? 0.2 : -0.2);
+  }
+  RealVector q0;
+  sys.evalDense(x0, 0.0, nullptr, &q0, nullptr, nullptr, {});
+
+  TransientWorkspace ws;
+  RealVector x = x0, q = q0, qd(n, 0.0);
+  // Warm the workspace (pattern, symbolic factorization, buffer sizes).
+  Real t = 0.0;
+  const Real h = 5e-12;
+  integrateStep(sys, opt.method, true, t, h, x, q, qd, nullptr, opt, ws);
+  t += h;
+  size_t steps = 0;
+  for (auto _ : state) {
+    if (!integrateStep(sys, opt.method, false, t, h, x, q, qd, nullptr, opt,
+                       ws)) {
+      state.SkipWithError("Newton failed");
+      break;
+    }
+    t += h;
+    ++steps;
+  }
+  state.counters["unknowns"] = static_cast<double>(n);
+  state.counters["steps"] = static_cast<double>(steps);
+}
+
+void BM_TransientStepDense(benchmark::State& state) {
+  transientStepBench(state, LinearSolverKind::kDense);
+}
+void BM_TransientStepSparse(benchmark::State& state) {
+  transientStepBench(state, LinearSolverKind::kSparse);
+}
+BENCHMARK(BM_TransientStepDense)->Arg(15)->Arg(31)->Arg(63)->Arg(127);
+BENCHMARK(BM_TransientStepSparse)->Arg(15)->Arg(31)->Arg(63)->Arg(127);
+
+/// Full transient-sensitivity run on `rows` parallel 8-stage inverter
+/// chains (2 mismatch sources per MOSFET, so ns = 32*rows columns):
+/// exercises the shared accepted-step factorization and the batched
+/// multi-RHS solve. Unknowns = 8*rows + 2.
+void tranSensBench(benchmark::State& state, LinearSolverKind solver) {
+  const int rows = static_cast<int>(state.range(0));
+  Netlist nl;
+  auto kit = ProcessKit::cmos130();
+  InverterChainOptions copt;
+  copt.stages = 8;
+  copt.rows = rows;
+  buildInverterChain(nl, kit, copt);
+  MnaSystem sys(nl);
+  const auto sources = sys.collectSources(true, false);
+
+  TranOptions opt;
+  opt.method = IntegrationMethod::kBackwardEuler;
+  opt.solver = solver;
+  for (auto _ : state) {
+    const auto res =
+        runTransientSensitivity(sys, 0.0, 1e-9, 10e-12, sources, opt);
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["unknowns"] = static_cast<double>(sys.size());
+  state.counters["sources"] = static_cast<double>(sources.size());
+}
+
+void BM_TranSensDense(benchmark::State& state) {
+  tranSensBench(state, LinearSolverKind::kDense);
+}
+void BM_TranSensSparse(benchmark::State& state) {
+  tranSensBench(state, LinearSolverKind::kSparse);
+}
+BENCHMARK(BM_TranSensDense)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TranSensSparse)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace psmn

@@ -96,9 +96,22 @@ class Stamper {
     gTrip_ = g;
     cTrip_ = c;
   }
+  /// Pattern-slot accumulation: stamps land in the preallocated CSC slots
+  /// of `g`/`c` (no heap traffic). A stamp whose (eq, var) position is
+  /// missing from the pattern sets sparseMiss() instead of being dropped,
+  /// so the assembler can rebuild the pattern and re-stamp.
+  void attachSparse(SparseMatrix<Real>* g, SparseMatrix<Real>* c) {
+    gSparse_ = g;
+    cSparse_ = c;
+  }
   void attachVectors(RealVector* f, RealVector* q) { f_ = f; q_ = q; }
   void setSourceScale(Real s) { sourceScale_ = s; }
   void setGmin(Real g) { gmin_ = g; }
+  /// Scales every subsequent contribution; used when accumulating weighted
+  /// injection stamps (composite correlated-mismatch sources) without a
+  /// temporary vector per component.
+  void setStampScale(Real w) { stampScale_ = w; }
+  bool sparseMiss() const { return sparseMiss_; }
 
   // --- device-side queries ---
   /// Voltage/current of unknown `idx` in the current iterate (0 for ground).
@@ -111,26 +124,34 @@ class Stamper {
   /// its non-ground terminals to ground.
   Real gmin() const { return gmin_; }
   bool wantMatrices() const {
-    return gDense_ || cDense_ || gTrip_ || cTrip_;
+    return gDense_ || cDense_ || gTrip_ || cTrip_ || gSparse_ || cSparse_;
   }
   size_t size() const { return n_; }
 
   // --- device-side accumulation ---
   void addF(int eq, Real val) {
-    if (eq >= 0 && f_) (*f_)[eq] += val;
+    if (eq >= 0 && f_) (*f_)[eq] += stampScale_ * val;
   }
   void addQ(int eq, Real val) {
-    if (eq >= 0 && q_) (*q_)[eq] += val;
+    if (eq >= 0 && q_) (*q_)[eq] += stampScale_ * val;
   }
   void addG(int eq, int var, Real val) {
     if (eq < 0 || var < 0) return;
-    if (gDense_) (*gDense_)(eq, var) += val;
-    if (gTrip_) gTrip_->push_back({eq, var, val});
+    if (gDense_) (*gDense_)(eq, var) += stampScale_ * val;
+    if (gTrip_) gTrip_->push_back({eq, var, stampScale_ * val});
+    if (gSparse_) {
+      if (Real* slot = gSparse_->find(eq, var)) *slot += stampScale_ * val;
+      else sparseMiss_ = true;
+    }
   }
   void addC(int eq, int var, Real val) {
     if (eq < 0 || var < 0) return;
-    if (cDense_) (*cDense_)(eq, var) += val;
-    if (cTrip_) cTrip_->push_back({eq, var, val});
+    if (cDense_) (*cDense_)(eq, var) += stampScale_ * val;
+    if (cTrip_) cTrip_->push_back({eq, var, stampScale_ * val});
+    if (cSparse_) {
+      if (Real* slot = cSparse_->find(eq, var)) *slot += stampScale_ * val;
+      else sparseMiss_ = true;
+    }
   }
 
   /// Conductance stamp between unknowns a and b (the classic 4-entry stamp).
@@ -163,10 +184,14 @@ class Stamper {
   size_t n_ = 0;
   Real sourceScale_ = 1.0;
   Real gmin_ = 0.0;
+  Real stampScale_ = 1.0;
+  bool sparseMiss_ = false;
   RealMatrix* gDense_ = nullptr;
   RealMatrix* cDense_ = nullptr;
   std::vector<Triplet<Real>>* gTrip_ = nullptr;
   std::vector<Triplet<Real>>* cTrip_ = nullptr;
+  SparseMatrix<Real>* gSparse_ = nullptr;
+  SparseMatrix<Real>* cSparse_ = nullptr;
   RealVector* f_ = nullptr;
   RealVector* q_ = nullptr;
 };

@@ -203,6 +203,38 @@ LogicPathCircuit buildLogicPath(Netlist& nl, const ProcessKit& kit,
   return lp;
 }
 
+InverterChainCircuit buildInverterChain(Netlist& nl, const ProcessKit& kit,
+                                        const InverterChainOptions& opt) {
+  PSMN_CHECK(opt.stages >= 1 && opt.rows >= 1,
+             "inverter chain needs at least one stage and one row");
+  InverterChainCircuit chain;
+  chain.vddNode = nl.node("vdd");
+  if (!nl.find("VDD")) {
+    nl.add<VSource>("VDD", chain.vddNode, kGround, SourceWave::dc(kit.vdd), nl);
+  }
+  chain.in = nl.node("chin");
+  chain.src = &nl.add<VSource>(
+      "VCH", chain.in, kGround,
+      SourceWave::pulse(0.0, kit.vdd, 0.2e-9, opt.edgeTime, opt.edgeTime,
+                        opt.period / 2 - opt.edgeTime, opt.period),
+      nl);
+  for (int r = 0; r < opt.rows; ++r) {
+    const std::string rowTag = opt.rows == 1 ? "" : "r" + std::to_string(r + 1);
+    NodeId in = chain.in;
+    for (int i = 0; i < opt.stages; ++i) {
+      const NodeId out = nl.node("ch" + rowTag + std::to_string(i + 1));
+      chain.cells.push_back(addInverter(nl, "CH" + rowTag + std::to_string(i + 1),
+                                        in, out, chain.vddNode, kit, opt.wn,
+                                        opt.wp));
+      nl.add<Capacitor>("CCH" + rowTag + std::to_string(i + 1), out, kGround,
+                        opt.cLoad, nl);
+      if (r == 0) chain.taps.push_back(out);
+      in = out;
+    }
+  }
+  return chain;
+}
+
 RingOscillatorCircuit buildRingOscillator(Netlist& nl, const ProcessKit& kit,
                                           const RingOscillatorOptions& opt) {
   PSMN_CHECK(opt.stages >= 3 && opt.stages % 2 == 1,

@@ -140,6 +140,33 @@ struct LogicPathOptions {
 LogicPathCircuit buildLogicPath(Netlist& nl, const ProcessKit& kit,
                                 const LogicPathOptions& opt = {});
 
+// --------------------------------------------------------- inverter chain
+
+/// Driven inverter chain: VDD + pulse source -> `rows` parallel chains of
+/// `stages` inverters with load caps, all driven from the same input. The
+/// scalable fixture for solver benchmarks and the dense/sparse golden
+/// tests — node count is rows*stages + 2, while DC difficulty (Newton
+/// iterations grow with logic depth) is set by `stages` alone.
+struct InverterChainCircuit {
+  NodeId vddNode, in;
+  std::vector<NodeId> taps;  // outputs of the first row; taps.back() = end
+  std::vector<InverterCell> cells;  // all rows, row-major
+  VSource* src = nullptr;
+};
+
+struct InverterChainOptions {
+  int stages = 8;
+  int rows = 1;
+  Real wn = 0.6e-6;
+  Real wp = 1.2e-6;
+  Real cLoad = 5e-15;
+  Real period = 4e-9;
+  Real edgeTime = 0.1e-9;
+};
+
+InverterChainCircuit buildInverterChain(Netlist& nl, const ProcessKit& kit,
+                                        const InverterChainOptions& opt = {});
+
 // -------------------------------------------------------- ring oscillator
 
 struct RingOscillatorCircuit {

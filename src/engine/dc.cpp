@@ -2,8 +2,6 @@
 
 #include <cmath>
 
-#include "numeric/dense_lu.hpp"
-
 namespace psmn {
 namespace {
 
@@ -16,26 +14,48 @@ Real maxAbsVec(std::span<const Real> v) {
 }  // namespace
 
 bool newtonSolve(const MnaSystem& sys, RealVector& x, const DcOptions& opt,
-                 Real sourceScale, Real gshunt, int* iterationsOut) {
+                 Real sourceScale, Real gshunt, int* iterationsOut,
+                 DcWorkspace* ws) {
   const size_t n = sys.size();
-  RealVector f;
-  RealMatrix g;
+  const bool sparse = useSparseSolver(opt.solver, n, opt.sparseThreshold);
+  DcWorkspace local;
+  if (ws == nullptr) ws = &local;
+  RealVector& f = ws->f;
   MnaSystem::EvalOptions eopt;
   eopt.sourceScale = sourceScale;
   eopt.gshunt = gshunt;
 
   for (int iter = 0; iter < opt.maxIterations; ++iter) {
-    sys.evalDense(x, opt.time, &f, nullptr, &g, nullptr, eopt);
+    if (sparse) {
+      sys.evalSparse(x, opt.time, &f, nullptr, &ws->gsp, nullptr, eopt);
+    } else {
+      sys.evalDense(x, opt.time, &f, nullptr, &ws->g, nullptr, eopt);
+    }
     const Real resNorm = maxAbsVec(f);
 
-    RealVector dx;
+    // Solve G dx = -f in place; the sparse branch reuses the pivot order
+    // and fill pattern cached in the workspace (across iterations and,
+    // when the caller passes one, across homotopy rungs).
     try {
-      DenseLU<Real> lu(g);
       for (Real& v : f) v = -v;
-      dx = lu.solve(f);
+      if (sparse) {
+        if (ws->gsp.nonZeros() != ws->patternNnz) {
+          ws->sluSymbolic = false;  // pattern was (re)built
+          ws->patternNnz = ws->gsp.nonZeros();
+        }
+        if (!ws->sluSymbolic || !ws->slu.refactor(ws->gsp)) {
+          ws->slu.factor(ws->gsp);
+          ws->sluSymbolic = true;
+        }
+        ws->slu.solveInPlace(f);
+      } else {
+        ws->dlu.factor(ws->g);
+        ws->dlu.solveInPlace(f);
+      }
     } catch (const NumericalError&) {
       return false;
     }
+    const RealVector& dx = f;
 
     // Clamp the Newton step to keep exponential devices in range.
     const Real stepNorm = maxAbsVec(dx);
@@ -60,8 +80,13 @@ DcResult solveDc(const MnaSystem& sys, const DcOptions& opt,
     result.x = *initialGuess;
   }
 
+  // One workspace for every strategy below: the sparsity pattern and
+  // symbolic factorization survive across homotopy rungs.
+  DcWorkspace ws;
+
   // Plain Newton first.
-  if (newtonSolve(sys, result.x, opt, 1.0, opt.gshunt, &result.iterations)) {
+  if (newtonSolve(sys, result.x, opt, 1.0, opt.gshunt, &result.iterations,
+                  &ws)) {
     return result;
   }
 
@@ -72,11 +97,12 @@ DcResult solveDc(const MnaSystem& sys, const DcOptions& opt,
     bool ok = true;
     Real gshunt = 1e-2;
     for (int step = 0; step < opt.gminSteps && ok; ++step) {
-      ok = newtonSolve(sys, x, opt, 1.0, gshunt, &result.iterations);
+      ok = newtonSolve(sys, x, opt, 1.0, gshunt, &result.iterations, &ws);
       gshunt *= 0.1;
     }
     // Final solve with the caller's shunt only.
-    if (ok && newtonSolve(sys, x, opt, 1.0, opt.gshunt, &result.iterations)) {
+    if (ok && newtonSolve(sys, x, opt, 1.0, opt.gshunt, &result.iterations,
+                          &ws)) {
       result.x = x;
       result.usedGminStepping = true;
       return result;
@@ -89,7 +115,8 @@ DcResult solveDc(const MnaSystem& sys, const DcOptions& opt,
     bool ok = true;
     for (int step = 1; step <= opt.sourceSteps && ok; ++step) {
       const Real scale = static_cast<Real>(step) / opt.sourceSteps;
-      ok = newtonSolve(sys, x, opt, scale, opt.gshunt, &result.iterations);
+      ok = newtonSolve(sys, x, opt, scale, opt.gshunt, &result.iterations,
+                       &ws);
     }
     if (ok) {
       result.x = x;

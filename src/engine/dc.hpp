@@ -3,6 +3,8 @@
 #pragma once
 
 #include "engine/mna.hpp"
+#include "numeric/dense_lu.hpp"
+#include "numeric/sparse_lu.hpp"
 
 namespace psmn {
 
@@ -16,6 +18,11 @@ struct DcOptions {
   int gminSteps = 12;        // homotopy ladder length (0 disables)
   int sourceSteps = 10;      // source-stepping ladder (0 disables)
   bool quiet = true;
+  /// Linear-solver backend; kAuto switches to sparse at sparseThreshold
+  /// unknowns (the sparse path reuses one symbolic factorization across
+  /// all Newton iterations).
+  LinearSolverKind solver = LinearSolverKind::kAuto;
+  size_t sparseThreshold = kSparseSolverThreshold;
 };
 
 struct DcResult {
@@ -25,13 +32,28 @@ struct DcResult {
   bool usedSourceStepping = false;
 };
 
+/// Reusable Newton scratch: cached sparsity pattern, symbolic
+/// factorization, and solve buffers shared across homotopy rungs (gmin /
+/// source stepping re-solve the same structure up to ~23 times).
+struct DcWorkspace {
+  RealVector f;
+  RealMatrix g;
+  DenseLU<Real> dlu;
+  RealSparse gsp;
+  SparseLU<Real> slu;
+  bool sluSymbolic = false;
+  size_t patternNnz = 0;
+};
+
 /// Solves f(x, t) = 0. Throws ConvergenceError if all strategies fail.
 DcResult solveDc(const MnaSystem& sys, const DcOptions& opt = {},
                  const RealVector* initialGuess = nullptr);
 
 /// Raw damped-Newton kernel used by solveDc and the transient engine.
-/// Returns false instead of throwing when Newton stalls.
+/// Returns false instead of throwing when Newton stalls. `ws` carries the
+/// cached solver state between calls; pass null for a one-off solve.
 bool newtonSolve(const MnaSystem& sys, RealVector& x, const DcOptions& opt,
-                 Real sourceScale, Real gshunt, int* iterationsOut = nullptr);
+                 Real sourceScale, Real gshunt, int* iterationsOut = nullptr,
+                 DcWorkspace* ws = nullptr);
 
 }  // namespace psmn

@@ -36,6 +36,87 @@ void MnaSystem::evalDense(std::span<const Real> x, Real t, RealVector* f,
   }
 }
 
+namespace {
+
+/// Rebuilds `m` as a pattern matrix: union of its existing pattern, the
+/// accumulated triplets, and (for G) every node-diagonal slot. Values are
+/// zeroed; the caller re-stamps through the slots.
+void rebuildPattern(RealSparse* m, size_t n, std::vector<Triplet<Real>>& trips,
+                    size_t diagonals) {
+  if (m == nullptr) return;
+  if (m->rows() == n) {
+    const auto ptr = m->colPointers();
+    const auto idx = m->rowIndices();
+    for (size_t c = 0; c < n; ++c) {
+      for (int k = ptr[c]; k < ptr[c + 1]; ++k) {
+        trips.push_back({idx[k], static_cast<int>(c), 0.0});
+      }
+    }
+  }
+  for (size_t i = 0; i < diagonals; ++i) {
+    trips.push_back({static_cast<int>(i), static_cast<int>(i), 0.0});
+  }
+  *m = RealSparse::fromTriplets(n, n, trips);
+  m->zeroValues();
+}
+
+}  // namespace
+
+void MnaSystem::evalSparse(std::span<const Real> x, Real t, RealVector* f,
+                           RealVector* q, RealSparse* g, RealSparse* c,
+                           const EvalOptions& opt) const {
+  PSMN_CHECK(x.size() == n_, "state size mismatch");
+  PSMN_CHECK(g != nullptr || c != nullptr,
+             "evalSparse needs a matrix target; use evalDense for f/q only");
+
+  // One-time symbolic pass: run the devices in triplet mode at the current
+  // iterate to discover the pattern.
+  if ((g && g->rows() != n_) || (c && c->rows() != n_)) {
+    std::vector<Triplet<Real>> gTrips, cTrips;
+    Stamper s(x, t, n_);
+    s.attachTriplets(g ? &gTrips : nullptr, c ? &cTrips : nullptr);
+    s.setSourceScale(opt.sourceScale);
+    s.setGmin(opt.gmin);
+    for (const auto& dev : netlist_->devices()) dev->eval(s);
+    rebuildPattern(g, n_, gTrips, nodeUnknowns_);
+    rebuildPattern(c, n_, cTrips, 0);
+  }
+
+  // Slot-stamping passes: normally one; a pattern miss (a device reaching a
+  // position the symbolic pass never saw) extends the pattern and retries.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (f) f->assign(n_, 0.0);
+    if (q) q->assign(n_, 0.0);
+    if (g) g->zeroValues();
+    if (c) c->zeroValues();
+
+    Stamper s(x, t, n_);
+    s.attachVectors(f, q);
+    s.attachSparse(g, c);
+    s.setSourceScale(opt.sourceScale);
+    s.setGmin(opt.gmin);
+    for (const auto& dev : netlist_->devices()) dev->eval(s);
+
+    if (!s.sparseMiss()) break;
+    PSMN_CHECK(attempt == 0, "evalSparse: pattern miss after rebuild");
+    std::vector<Triplet<Real>> gTrips, cTrips;
+    Stamper ts(x, t, n_);
+    ts.attachTriplets(g ? &gTrips : nullptr, c ? &cTrips : nullptr);
+    ts.setSourceScale(opt.sourceScale);
+    ts.setGmin(opt.gmin);
+    for (const auto& dev : netlist_->devices()) dev->eval(ts);
+    rebuildPattern(g, n_, gTrips, nodeUnknowns_);
+    rebuildPattern(c, n_, cTrips, 0);
+  }
+
+  if (opt.gshunt > 0.0) {
+    for (size_t i = 0; i < nodeUnknowns_; ++i) {
+      if (f) (*f)[i] += opt.gshunt * x[i];
+      if (g) *g->find(static_cast<int>(i), static_cast<int>(i)) += opt.gshunt;
+    }
+  }
+}
+
 void MnaSystem::evalInjection(const InjectionSource& src,
                               std::span<const Real> x, Real t, RealVector* bf,
                               RealVector* bq) const {
@@ -44,30 +125,19 @@ void MnaSystem::evalInjection(const InjectionSource& src,
   if (bq) bq->assign(n_, 0.0);
   PSMN_CHECK(!src.components.empty(), "injection source has no components");
 
-  RealVector tmpF, tmpQ;
+  // Weighted accumulation straight into the output vectors: the stamper's
+  // stamp scale carries the component weight, so composite sources need no
+  // temporary per component and the hot sensitivity loop stays heap-free.
   for (const auto& comp : src.components) {
     PSMN_CHECK(comp.device != nullptr, "injection component has no device");
+    Stamper s(x, t, n_);
+    s.attachVectors(bf, bq);
+    s.setStampScale(comp.weight);
     if (src.kind == InjectionSource::Kind::kMismatch) {
-      if (bf) {
-        tmpF.assign(n_, 0.0);
-        Stamper s(x, t, n_);
-        s.attachVectors(&tmpF, nullptr);
-        comp.device->mismatchStampF(comp.index, s);
-        for (size_t i = 0; i < n_; ++i) (*bf)[i] += comp.weight * tmpF[i];
-      }
-      if (bq) {
-        tmpQ.assign(n_, 0.0);
-        Stamper s(x, t, n_);
-        s.attachVectors(nullptr, &tmpQ);
-        comp.device->mismatchStampQ(comp.index, s);
-        for (size_t i = 0; i < n_; ++i) (*bq)[i] += comp.weight * tmpQ[i];
-      }
+      if (bf) comp.device->mismatchStampF(comp.index, s);
+      if (bq) comp.device->mismatchStampQ(comp.index, s);
     } else if (bf) {
-      tmpF.assign(n_, 0.0);
-      Stamper s(x, t, n_);
-      s.attachVectors(&tmpF, nullptr);
       comp.device->noiseStamp(comp.index, s);
-      for (size_t i = 0; i < n_; ++i) (*bf)[i] += comp.weight * tmpF[i];
       // Physical noise sources are current injections only (no charge part).
     }
   }

@@ -60,6 +60,26 @@ struct InjectionSource {
   }
 };
 
+/// Linear-solver backend selection shared by the DC and transient engines.
+/// kAuto picks sparse once the system is large enough that the O(n^3)
+/// dense factorization loses to the pattern-reusing sparse LU.
+enum class LinearSolverKind { kAuto, kDense, kSparse };
+
+/// Default kAuto crossover (MNA unknowns). Below this the dense path's
+/// cache friendliness wins; above it the sparse path's O(nnz) assembly and
+/// near-linear refactorization take over (see bench_kernels).
+inline constexpr size_t kSparseSolverThreshold = 40;
+
+inline bool useSparseSolver(LinearSolverKind kind, size_t n,
+                            size_t threshold = kSparseSolverThreshold) {
+  switch (kind) {
+    case LinearSolverKind::kDense: return false;
+    case LinearSolverKind::kSparse: return true;
+    case LinearSolverKind::kAuto: return n >= threshold;
+  }
+  return false;
+}
+
 /// Options for one MNA evaluation pass.
 struct MnaEvalOptions {
   Real sourceScale = 1.0;
@@ -85,6 +105,19 @@ class MnaSystem {
   void evalDense(std::span<const Real> x, Real t, RealVector* f, RealVector* q,
                  RealMatrix* g, RealMatrix* c,
                  const EvalOptions& opt = {}) const;
+
+  /// Sparse evaluation into caller-owned pattern matrices. On the first
+  /// call (`g`/`c` empty) a symbolic pass runs the devices in triplet mode
+  /// and freezes the union sparsity pattern — including every node-diagonal
+  /// slot, so gshunt homotopy stamps in place. Subsequent calls zero the
+  /// stored values and stamp straight into the CSC slots: no heap
+  /// allocation. A stamp landing outside the cached pattern (e.g. a MOSFET
+  /// drain/source swap reaching a new position) triggers an automatic
+  /// pattern extension and re-stamp, so results are always exact; callers
+  /// caching factorizations should watch nonZeros() for pattern growth.
+  void evalSparse(std::span<const Real> x, Real t, RealVector* f,
+                  RealVector* q, RealSparse* g, RealSparse* c,
+                  const EvalOptions& opt = {}) const;
 
   /// dF/dp injection vectors for source `src` at iterate x: the static part
   /// into `bf` and the charge part into `bq` (either may be null).

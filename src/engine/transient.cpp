@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "numeric/dense_lu.hpp"
 #include "util/units.hpp"
 
 namespace psmn {
@@ -12,6 +11,41 @@ Real maxAbsVec(std::span<const Real> v) {
   Real m = 0.0;
   for (Real x : v) m = std::max(m, std::fabs(x));
   return m;
+}
+
+/// Merges the G and C patterns into the Jacobian pattern J = G + a*C and
+/// precomputes the value-slot scatter maps. Runs once per pattern (and
+/// again only if evalSparse ever extends a pattern).
+void rebuildJacobianPattern(TransientWorkspace& ws) {
+  const size_t n = ws.gsp.rows();
+  std::vector<Triplet<Real>> trips;
+  trips.reserve(ws.gsp.nonZeros() + ws.csp.nonZeros());
+  for (const auto* m : {&ws.gsp, &ws.csp}) {
+    const auto ptr = m->colPointers();
+    const auto idx = m->rowIndices();
+    for (size_t c = 0; c < n; ++c) {
+      for (int k = ptr[c]; k < ptr[c + 1]; ++k) {
+        trips.push_back({idx[k], static_cast<int>(c), 0.0});
+      }
+    }
+  }
+  ws.jsp = RealSparse::fromTriplets(n, n, trips);
+  const Real* jBase = ws.jsp.values().data();
+  auto mapInto = [&](const RealSparse& m, std::vector<int>& map) {
+    map.resize(m.nonZeros());
+    const auto ptr = m.colPointers();
+    const auto idx = m.rowIndices();
+    for (size_t c = 0; c < n; ++c) {
+      for (int k = ptr[c]; k < ptr[c + 1]; ++k) {
+        const Real* slot = ws.jsp.find(idx[k], static_cast<int>(c));
+        PSMN_CHECK(slot != nullptr, "jacobian pattern merge lost a slot");
+        map[k] = static_cast<int>(slot - jBase);
+      }
+    }
+  };
+  mapInto(ws.gsp, ws.gToJ);
+  mapInto(ws.csp, ws.cToJ);
+  ws.sluSymbolic = false;  // pattern changed: next factor is symbolic again
 }
 
 }  // namespace
@@ -28,8 +62,10 @@ RealVector TransientResult::waveform(int mnaIndex) const {
 bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
                    Real t, Real h, RealVector& x, RealVector& q,
                    RealVector& qd, const RealVector* qm1,
-                   const TranOptions& opt, size_t* newtonCount) {
+                   const TranOptions& opt, TransientWorkspace& ws,
+                   size_t* newtonCount) {
   const size_t n = sys.size();
+  ws.chooseBackend(n, opt);
   const Real t1 = t + h;
   IntegrationMethod m = beStep ? IntegrationMethod::kBackwardEuler : method;
   if (m == IntegrationMethod::kGear2 && qm1 == nullptr) {
@@ -38,82 +74,129 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
 
   // Integration coefficients: R = f1 + a*q1 + rhsQ, J = G1 + a*C1.
   Real a = 0.0;
-  RealVector rhsQ(n, 0.0);
+  ws.rhsQ.resize(n);
   switch (m) {
     case IntegrationMethod::kBackwardEuler:
       a = 1.0 / h;
-      for (size_t i = 0; i < n; ++i) rhsQ[i] = -q[i] / h;
+      for (size_t i = 0; i < n; ++i) ws.rhsQ[i] = -q[i] / h;
       break;
     case IntegrationMethod::kTrapezoidal:
       a = 2.0 / h;
-      for (size_t i = 0; i < n; ++i) rhsQ[i] = -2.0 * q[i] / h - qd[i];
+      for (size_t i = 0; i < n; ++i) ws.rhsQ[i] = -2.0 * q[i] / h - qd[i];
       break;
     case IntegrationMethod::kGear2:
       a = 1.5 / h;
       for (size_t i = 0; i < n; ++i) {
-        rhsQ[i] = (-4.0 * q[i] + (*qm1)[i]) / (2.0 * h);
+        ws.rhsQ[i] = (-4.0 * q[i] + (*qm1)[i]) / (2.0 * h);
       }
       break;
   }
 
-  RealVector x1 = x;  // predictor: previous point
-  RealVector f, q1;
-  RealMatrix g, c;
+  ws.x1.assign(x.begin(), x.end());  // predictor: previous point
   MnaSystem::EvalOptions eopt;
   eopt.gshunt = opt.gshunt;
 
   bool converged = false;
   for (int iter = 0; iter < opt.maxNewton; ++iter) {
-    sys.evalDense(x1, t1, &f, &q1, &g, &c, eopt);
-    RealVector r(n);
-    for (size_t i = 0; i < n; ++i) r[i] = f[i] + a * q1[i] + rhsQ[i];
-    const Real resNorm = maxAbsVec(r);
-    // J = G + a*C.
-    for (size_t i = 0; i < n; ++i) {
-      auto grow = g.row(i);
-      const auto crow = c.row(i);
-      for (size_t j = 0; j < n; ++j) grow[j] += a * crow[j];
+    // Evaluate and assemble J = G + a*C.
+    if (ws.sparse) {
+      sys.evalSparse(ws.x1, t1, &ws.f, &ws.q1, &ws.gsp, &ws.csp, eopt);
+      if (ws.gToJ.size() != ws.gsp.nonZeros() ||
+          ws.cToJ.size() != ws.csp.nonZeros()) {
+        rebuildJacobianPattern(ws);
+      }
+      ws.jsp.zeroValues();
+      const auto gv = ws.gsp.values();
+      const auto cv = ws.csp.values();
+      const auto jv = ws.jsp.values();
+      for (size_t k = 0; k < gv.size(); ++k) jv[ws.gToJ[k]] += gv[k];
+      for (size_t k = 0; k < cv.size(); ++k) jv[ws.cToJ[k]] += a * cv[k];
+    } else {
+      sys.evalDense(ws.x1, t1, &ws.f, &ws.q1, &ws.j, &ws.c, eopt);
+      for (size_t i = 0; i < n; ++i) {
+        auto jrow = ws.j.row(i);
+        const auto crow = ws.c.row(i);
+        for (size_t col = 0; col < n; ++col) jrow[col] += a * crow[col];
+      }
     }
-    RealVector dx;
+    ws.r.resize(n);
+    for (size_t i = 0; i < n; ++i) ws.r[i] = ws.f[i] + a * ws.q1[i] + ws.rhsQ[i];
+    const Real resNorm = maxAbsVec(ws.r);
+
+    // Factor (sparse: numeric refactorization on the kept pivot sequence,
+    // full factor only on the first step or after a pivot breakdown).
     try {
-      DenseLU<Real> lu(g);
-      for (Real& v : r) v = -v;
-      dx = lu.solve(r);
+      if (ws.sparse) {
+        if (ws.sluSymbolic && ws.slu.refactor(ws.jsp)) {
+          ++ws.refactorizations;
+        } else {
+          ws.slu.factor(ws.jsp);
+          ws.sluSymbolic = true;
+          ++ws.fullFactorizations;
+        }
+      } else {
+        ws.dlu.factor(ws.j);
+        ++ws.fullFactorizations;
+      }
     } catch (const NumericalError&) {
       return false;
     }
-    const Real stepNorm = maxAbsVec(dx);
+
+    // Newton direction, solved in place on the negated residual.
+    for (Real& v : ws.r) v = -v;
+    if (ws.sparse) ws.slu.solveInPlace(ws.r);
+    else ws.dlu.solveInPlace(ws.r);
+
+    const Real stepNorm = maxAbsVec(ws.r);
     Real scale = 1.0;
     if (stepNorm > opt.maxStep) scale = opt.maxStep / stepNorm;
-    for (size_t i = 0; i < n; ++i) x1[i] += scale * dx[i];
+    for (size_t i = 0; i < n; ++i) ws.x1[i] += scale * ws.r[i];
     if (newtonCount) ++*newtonCount;
     if (resNorm < opt.residualTol && stepNorm * scale < opt.updateTol) {
+      // Accept x1 after this sub-updateTol correction, but keep the final
+      // iteration's q1/C/factored-J: they were evaluated a distance
+      // < updateTol from the accepted point, an O(dx) error the tolerances
+      // already admit, and skipping the re-evaluation removes one full
+      // system eval per step. The sensitivity engine reuses the same
+      // factorization, so each step factors the Jacobian exactly once.
       converged = true;
       break;
     }
   }
   if (!converged) return false;
 
-  // Accept: recompute q at the accepted point and update the charge state.
-  sys.evalDense(x1, t1, nullptr, &q1, nullptr, nullptr, eopt);
-  RealVector qd1(n);
+  // Update the charge state from the accepted-point q1 (already evaluated).
+  ws.qd1.resize(n);
   switch (m) {
     case IntegrationMethod::kBackwardEuler:
-      for (size_t i = 0; i < n; ++i) qd1[i] = (q1[i] - q[i]) / h;
+      for (size_t i = 0; i < n; ++i) ws.qd1[i] = (ws.q1[i] - q[i]) / h;
       break;
     case IntegrationMethod::kTrapezoidal:
-      for (size_t i = 0; i < n; ++i) qd1[i] = 2.0 * (q1[i] - q[i]) / h - qd[i];
+      for (size_t i = 0; i < n; ++i) {
+        ws.qd1[i] = 2.0 * (ws.q1[i] - q[i]) / h - qd[i];
+      }
       break;
     case IntegrationMethod::kGear2:
       for (size_t i = 0; i < n; ++i) {
-        qd1[i] = (3.0 * q1[i] - 4.0 * q[i] + (*qm1)[i]) / (2.0 * h);
+        ws.qd1[i] = (3.0 * ws.q1[i] - 4.0 * q[i] + (*qm1)[i]) / (2.0 * h);
       }
       break;
   }
-  x = std::move(x1);
-  q = std::move(q1);
-  qd = std::move(qd1);
+  // Swap (not move) so the workspace keeps the old buffers' capacity and
+  // the next step's copies stay allocation-free.
+  std::swap(x, ws.x1);
+  std::swap(q, ws.q1);
+  std::swap(qd, ws.qd1);
   return true;
+}
+
+bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
+                   Real t, Real h, RealVector& x, RealVector& q,
+                   RealVector& qd, const RealVector* qm1,
+                   const TranOptions& opt, size_t* newtonCount) {
+  TransientWorkspace ws;
+  return integrateStep(sys, method, beStep, t, h, x, q, qd, qm1, opt, ws,
+                       newtonCount);
 }
 
 TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
@@ -131,6 +214,8 @@ TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
     DcOptions dopt;
     dopt.time = t0;
     dopt.gshunt = opt.gshunt;
+    dopt.solver = opt.solver;
+    dopt.sparseThreshold = opt.sparseThreshold;
     x = solveDc(sys, dopt).x;
   }
   RealVector q;
@@ -161,6 +246,12 @@ TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
   const Real dtMin = opt.dtMin > 0.0 ? opt.dtMin : dt * 1e-6;
   const Real dtMax = opt.dtMax > 0.0 ? opt.dtMax : dt * 4.0;
 
+  // Per-run workspace: sparsity pattern, symbolic factorization, and step
+  // scratch persist across every step below. The save buffers are swapped
+  // (never moved-from) so the steady-state loop does not allocate.
+  TransientWorkspace ws;
+  RealVector qSave, xSave, qdSave;
+
   Real t = t0;
   Real h = dt;
   bool forceBE = true;  // first step and first step after each breakpoint
@@ -172,14 +263,14 @@ TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
           std::max<Real>(1.0, std::ceil((stop - t) / dt - 1e-9)));
       const Real hseg = (stop - t) / static_cast<Real>(count);
       for (size_t k = 0; k < count; ++k) {
-        RealVector qSave = q;
+        qSave.assign(q.begin(), q.end());
         if (!integrateStep(sys, opt.method, forceBE, t, hseg, x, q, qd,
-                           havePrev ? &qPrev : nullptr, opt,
+                           havePrev ? &qPrev : nullptr, opt, ws,
                            &result.newtonIterations)) {
           throw ConvergenceError("transient Newton failed at t=" +
                                  formatEng(t + hseg) + "s");
         }
-        qPrev = std::move(qSave);
+        std::swap(qPrev, qSave);
         havePrev = true;
         forceBE = false;
         t += hseg;
@@ -193,9 +284,11 @@ TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
       while (t < stop - 1e-15 * (t1 - t0)) {
         Real hTry = std::min({h, dtMax, stop - t});
         hTry = std::max(hTry, dtMin);
-        RealVector xSave = x, qSave = q, qdSave = qd;
+        xSave.assign(x.begin(), x.end());
+        qSave.assign(q.begin(), q.end());
+        qdSave.assign(qd.begin(), qd.end());
         bool ok = integrateStep(sys, opt.method, forceBE, t, hTry, x, q, qd,
-                                havePrev ? &qPrev : nullptr, opt,
+                                havePrev ? &qPrev : nullptr, opt, ws,
                                 &result.newtonIterations);
         Real err = 0.0;
         if (ok) {
@@ -209,16 +302,16 @@ TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
         }
         if (!ok || (err > 2.0 && hTry > dtMin * 1.01)) {
           // Reject and retry with half the step.
-          x = std::move(xSave);
-          q = std::move(qSave);
-          qd = std::move(qdSave);
+          std::swap(x, xSave);
+          std::swap(q, qSave);
+          std::swap(qd, qdSave);
           h = std::max(hTry * 0.5, dtMin);
           if (!ok && hTry <= dtMin * 1.01) {
             throw ConvergenceError("transient Newton failed at minimum step");
           }
           continue;
         }
-        qPrev = std::move(qSave);
+        std::swap(qPrev, qSave);
         havePrev = true;
         forceBE = false;
         t += hTry;

@@ -5,10 +5,20 @@
 // (x, q, qdot) so purely algebraic equations stay exact under trapezoidal
 // integration (no DAE ringing) and breakpoints restart cleanly with a BE
 // step.
+//
+// The Newton kernel runs on one of two linear-solver backends selected by
+// system size (TranOptions::solver): the dense path factors G + a*C with
+// DenseLU each iteration; the sparse path stamps into a cached sparsity
+// pattern and reuses the symbolic factorization (SparseLU::refactor) across
+// iterations and time steps. All per-step scratch lives in a
+// TransientWorkspace so the steady-state stepping loop performs no heap
+// allocation (tests/test_alloc.cpp pins this down).
 #pragma once
 
 #include "engine/dc.hpp"
 #include "engine/mna.hpp"
+#include "numeric/dense_lu.hpp"
+#include "numeric/sparse_lu.hpp"
 
 namespace psmn {
 
@@ -23,6 +33,10 @@ struct TranOptions {
   Real gshunt = 0.0;
   bool useBreakpoints = true;
   bool storeStates = true;
+  /// Linear-solver backend; kAuto switches to sparse at sparseThreshold
+  /// unknowns.
+  LinearSolverKind solver = LinearSolverKind::kAuto;
+  size_t sparseThreshold = kSparseSolverThreshold;
   /// Adaptive timestep control (fixed grid when false). The nominal dt is
   /// the starting step; it shrinks/grows within [dtMin, dtMax].
   bool adaptive = false;
@@ -32,6 +46,53 @@ struct TranOptions {
   Real dtMax = 0.0;   // 0 -> 4*dt
   /// Start from this state instead of a DC solve (SPICE "UIC").
   const RealVector* initialState = nullptr;
+};
+
+/// Reusable scratch + cached solver state for the stepping kernel. Create
+/// one per (system, run) and pass it to every integrateStep call: the
+/// sparsity pattern, symbolic factorization, and all vectors/matrices are
+/// reused, so steps after the first do not allocate.
+///
+/// After a successful step the workspace exposes the accepted-point
+/// linearization: `dlu`/`slu` hold the factored J = G + a*C at the
+/// accepted (x, t+h) (a = 1/h for the BE steps the sensitivity engine
+/// takes), and `c`/`csp` hold C there. The sensitivity engine solves
+/// against it via solveAcceptedInPlace() instead of re-evaluating and
+/// re-factoring.
+struct TransientWorkspace {
+  // Backend, fixed on first use.
+  bool sparse = false;
+  bool chosen = false;
+
+  // Scratch vectors.
+  RealVector f, q1, r, rhsQ, x1, qd1;
+
+  // Dense backend: j accumulates G then J = G + a*C in place; c holds C.
+  RealMatrix j, c;
+  DenseLU<Real> dlu;
+
+  // Sparse backend: cached-pattern G/C, merged Jacobian pattern, and the
+  // slot maps scattering G/C values into J.
+  RealSparse gsp, csp, jsp;
+  std::vector<int> gToJ, cToJ;
+  SparseLU<Real> slu;
+  bool sluSymbolic = false;  // slu carries a reusable symbolic factorization
+
+  // Cost counters (cumulative over the workspace lifetime).
+  size_t fullFactorizations = 0;
+  size_t refactorizations = 0;
+
+  void chooseBackend(size_t n, const TranOptions& opt) {
+    if (chosen) return;
+    sparse = useSparseSolver(opt.solver, n, opt.sparseThreshold);
+    chosen = true;
+  }
+
+  /// Solves J y = b in place against the accepted-step factorization.
+  void solveAcceptedInPlace(std::span<Real> b, size_t nrhs = 1) const {
+    if (sparse) slu.solveManyInPlace(b, nrhs);
+    else dlu.solveManyInPlace(b, nrhs);
+  }
 };
 
 struct TransientResult {
@@ -51,6 +112,16 @@ TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
 /// Single integration step from (x0,q0,qd0,t) to t+h; updates all three.
 /// `beStep` forces backward Euler (first step, post-breakpoint). Returns
 /// false if Newton failed. qm1 is q at the pre-previous point (Gear2).
+/// The accepted point keeps the final Newton iterate's f/q/G/C/LU
+/// consistent in `ws` — no post-convergence re-evaluation happens.
+bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
+                   Real t, Real h, RealVector& x, RealVector& q,
+                   RealVector& qd, const RealVector* qm1,
+                   const TranOptions& opt, TransientWorkspace& ws,
+                   size_t* newtonCount = nullptr);
+
+/// Convenience overload with a throwaway workspace (one-off steps; the
+/// engines hold a workspace across steps instead).
 bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
                    Real t, Real h, RealVector& x, RealVector& q,
                    RealVector& qd, const RealVector* qm1,

@@ -3,8 +3,6 @@
 #include <cmath>
 
 #include "engine/dc.hpp"
-#include "numeric/dense_lu.hpp"
-#include "numeric/interp.hpp"
 
 namespace psmn {
 
@@ -16,6 +14,16 @@ TransientSensitivityResult runTransientSensitivity(
   const size_t ns = sources.size();
   TransientSensitivityResult result;
 
+  TranOptions stepOpt = opt;
+  stepOpt.method = IntegrationMethod::kBackwardEuler;
+
+  // One workspace for the whole run: the Newton kernel factors the
+  // accepted-step Jacobian J = G1 + C1/h exactly once per step (sparse:
+  // mostly numeric refactorizations), and the sensitivity update below
+  // reuses that factorization for all `ns` injection columns at once.
+  TransientWorkspace ws;
+  ws.chooseBackend(n, stepOpt);
+
   // Initial state: DC operating point (or caller-provided), with initial
   // sensitivities from the DC system: G s = -df/dp.
   RealVector x;
@@ -24,23 +32,49 @@ TransientSensitivityResult runTransientSensitivity(
   } else {
     DcOptions dopt;
     dopt.time = t0;
+    dopt.solver = opt.solver;
+    dopt.sparseThreshold = opt.sparseThreshold;
     x = solveDc(sys, dopt).x;
   }
-  RealVector f, q, bf, bq;
-  RealMatrix g, c;
-  sys.evalDense(x, t0, nullptr, &q, &g, nullptr, {});
+
+  // Initial linearization: q, G (initial sensitivities), and C (the C0 of
+  // the first step's charge-derivative term).
+  RealVector q, bf, bq;
+  if (ws.sparse) {
+    sys.evalSparse(x, t0, nullptr, &q, &ws.gsp, &ws.csp, {});
+  } else {
+    sys.evalDense(x, t0, nullptr, &q, &ws.j, &ws.c, {});
+  }
+
   std::vector<RealVector> s(ns, RealVector(n, 0.0));
   std::vector<RealVector> qp(ns, RealVector(n, 0.0));  // dq/dp at t
-  {
-    DenseLU<Real> lu(g);
+  RealVector rhsAll(n * ns, 0.0);  // column-major batch of all ns columns
+  for (size_t i = 0; i < ns; ++i) {
+    sys.evalInjection(sources[i], x, t0, &bf, &bq);
+    for (size_t r = 0; r < n; ++r) rhsAll[i * n + r] = -bf[r];
+    qp[i] = bq;
+  }
+  if (opt.initialState == nullptr && ns > 0) {
+    if (ws.sparse) {
+      SparseLU<Real> lu(ws.gsp);
+      lu.solveManyInPlace(rhsAll, ns);
+    } else {
+      DenseLU<Real> lu(ws.j);
+      lu.solveManyInPlace(rhsAll, ns);
+    }
     ++result.luFactorizations;
     for (size_t i = 0; i < ns; ++i) {
-      sys.evalInjection(sources[i], x, t0, &bf, &bq);
-      for (Real& v : bf) v = -v;
-      if (opt.initialState == nullptr) s[i] = lu.solve(bf);
-      qp[i] = bq;
+      s[i].assign(rhsAll.begin() + i * n, rhsAll.begin() + (i + 1) * n);
     }
   }
+
+  // C at the latest accepted point ("C0" in the recursion). A full-matrix
+  // copy, refreshed each step from the workspace; the assignments reuse
+  // capacity, so the steady-state loop stays heap-quiet.
+  RealSparse cPrevSp;
+  RealMatrix cPrevDn;
+  if (ws.sparse) cPrevSp = ws.csp;
+  else cPrevDn = ws.c;
 
   result.times.push_back(t0);
   result.states.push_back(x);
@@ -58,57 +92,62 @@ TransientSensitivityResult runTransientSensitivity(
   }
   stops.push_back(t1);
 
-  TranOptions stepOpt = opt;
-  stepOpt.method = IntegrationMethod::kBackwardEuler;
   Real t = t0;
   RealVector qd(n, 0.0);
+  RealVector c0s(n);  // C0 * s_i scratch
   for (Real stop : stops) {
     if (stop <= t) continue;
     const auto count = static_cast<size_t>(
         std::max<Real>(1.0, std::ceil((stop - t) / dt - 1e-9)));
     const Real h = (stop - t) / static_cast<Real>(count);
     for (size_t k = 0; k < count; ++k) {
-      const RealVector qOld = q;
-      const RealVector xOld = x;
       if (!integrateStep(sys, IntegrationMethod::kBackwardEuler, true, t, h, x,
-                         q, qd, nullptr, stepOpt, nullptr)) {
+                         q, qd, nullptr, stepOpt, ws, nullptr)) {
         throw ConvergenceError("transient-sensitivity Newton failed at t=" +
                                std::to_string(t + h));
       }
       t += h;
       // Sensitivity update at the accepted point:
       //   (G1 + C1/h) s1 = (C0/h) s0 - [bf1 + (bq1 - bq0)/h]
-      // with C0 s0 approximated by C1-at-old-x; we store dq/dp (= bq) and
-      // d q/dx * s as combined charge sensitivity to keep the recursion
-      // exact:  d/dt [ C s + dq/dp ] -> ((C1 s1 + bq1) - (C0 s0 + bq0))/h.
-      sys.evalDense(x, t, nullptr, nullptr, &g, &c, {});
-      // J = G + C/h.
-      RealMatrix j = g;
-      for (size_t r = 0; r < n; ++r) {
-        auto jr = j.row(r);
-        const auto cr = c.row(r);
-        for (size_t cc = 0; cc < n; ++cc) jr[cc] += cr[cc] / h;
-      }
-      DenseLU<Real> lu(j);
-      ++result.luFactorizations;
-      // C at the previous point (linearization around xOld).
-      RealMatrix cOld;
-      sys.evalDense(xOld, t - h, nullptr, nullptr, nullptr, &cOld, {});
+      // with C0 s0 linearized around the previous accepted point; we store
+      // dq/dp (= bq) and d q/dx * s as combined charge sensitivity to keep
+      // the recursion exact:
+      //   d/dt [ C s + dq/dp ] -> ((C1 s1 + bq1) - (C0 s0 + bq0))/h.
+      // The Jacobian J = G1 + C1/h is exactly the matrix the Newton kernel
+      // factored to accept this step, and C1 was evaluated there too: the
+      // update costs no extra evaluation or factorization, just one batched
+      // multi-RHS substitution for all ns injection columns.
       for (size_t i = 0; i < ns; ++i) {
         sys.evalInjection(sources[i], x, t, &bf, &bq);
-        // rhs = C0/h * s0 - bf - (bq - bqOld)/h
-        RealVector rhs = matvec(cOld, std::span<const Real>(s[i]));
-        for (size_t r = 0; r < n; ++r) {
-          rhs[r] = rhs[r] / h - bf[r] - (bq[r] - qp[i][r]) / h;
+        if (ws.sparse) cPrevSp.multiplyInto(s[i], c0s);
+        else {
+          for (size_t r = 0; r < n; ++r) {
+            const auto row = cPrevDn.row(r);
+            Real acc = 0.0;
+            for (size_t cc = 0; cc < n; ++cc) acc += row[cc] * s[i][cc];
+            c0s[r] = acc;
+          }
         }
-        s[i] = lu.solve(rhs);
+        Real* col = rhsAll.data() + i * n;
+        for (size_t r = 0; r < n; ++r) {
+          col[r] = c0s[r] / h - bf[r] - (bq[r] - qp[i][r]) / h;
+        }
         qp[i] = bq;
       }
+      if (ns > 0) {
+        ws.solveAcceptedInPlace(rhsAll, ns);
+        for (size_t i = 0; i < ns; ++i) {
+          s[i].assign(rhsAll.begin() + i * n, rhsAll.begin() + (i + 1) * n);
+        }
+      }
+      if (ws.sparse) cPrevSp = ws.csp;
+      else cPrevDn = ws.c;
       result.times.push_back(t);
       result.states.push_back(x);
       for (size_t i = 0; i < ns; ++i) result.sens[i].push_back(s[i]);
     }
   }
+  result.luFactorizations += ws.fullFactorizations + ws.refactorizations;
   return result;
 }
 

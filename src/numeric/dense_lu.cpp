@@ -55,7 +55,8 @@ void DenseLU<T>::solveInPlace(std::span<T> b) const {
   const size_t n = size();
   PSMN_CHECK(b.size() == n, "LU solve: rhs size mismatch");
   // Apply permutation.
-  std::vector<T> x(n);
+  scratch_.resize(n);
+  std::span<T> x = scratch_;
   for (size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
   // Forward substitution (L has unit diagonal).
   for (size_t i = 1; i < n; ++i) {
@@ -122,6 +123,13 @@ Matrix<T> DenseLU<T>::solveMatrix(const Matrix<T>& b) const {
     for (size_t i = 0; i < b.rows(); ++i) x(i, j) = col[i];
   }
   return x;
+}
+
+template <class T>
+void DenseLU<T>::solveManyInPlace(std::span<T> b, size_t nrhs) const {
+  const size_t n = size();
+  PSMN_CHECK(b.size() == n * nrhs, "LU solve: rhs block size mismatch");
+  for (size_t r = 0; r < nrhs; ++r) solveInPlace(b.subspan(r * n, n));
 }
 
 template <class T>

@@ -34,6 +34,11 @@ class DenseLU {
   /// Solves A X = B for a full matrix of right-hand sides.
   Matrix<T> solveMatrix(const Matrix<T>& b) const;
 
+  /// Batched in-place solve of `nrhs` right-hand sides stored column-major
+  /// in `b` (column r occupies b[r*n .. r*n + n-1]); mirrors
+  /// SparseLU::solveManyInPlace so the engines can switch backends.
+  void solveManyInPlace(std::span<T> b, size_t nrhs) const;
+
   size_t size() const { return lu_.rows(); }
   bool factored() const { return !lu_.empty(); }
 
@@ -48,6 +53,10 @@ class DenseLU {
   Matrix<T> lu_;
   std::vector<int> perm_;
   double pivotRatio_ = 0.0;
+  // Solve scratch, reused so repeated solves on a kept factorization are
+  // allocation-free (the transient engine's steady state relies on this).
+  // Consequence: the const solve methods are not thread-safe per object.
+  mutable std::vector<T> scratch_;
 };
 
 /// Convenience one-shot solve.

@@ -29,7 +29,9 @@ void SparseLU<T>::factor(const SparseMatrix<T>& a, double pivotThreshold) {
   PSMN_CHECK(a.rows() == a.cols(), "sparse LU requires a square matrix");
   PSMN_CHECK(pivotThreshold > 0.0 && pivotThreshold <= 1.0,
              "pivot threshold must be in (0,1]");
+  valid_ = false;
   n_ = a.rows();
+  patternNnz_ = a.nonZeros();
   const auto aPtr = a.colPointers();
   const auto aIdx = a.rowIndices();
   const auto aVal = a.values();
@@ -39,7 +41,7 @@ void SparseLU<T>::factor(const SparseMatrix<T>& a, double pivotThreshold) {
   for (size_t k = 0; k < n_; ++k) invColOrder_[colOrder_[k]] = static_cast<int>(k);
 
   rowPerm_.assign(n_, -1);  // original row -> permuted position
-  std::vector<int> permRow(n_, -1);  // permuted position -> original row
+  permRow_.assign(n_, -1);  // permuted position -> original row
 
   lPtr_.assign(1, 0);
   uPtr_.assign(1, 0);
@@ -53,6 +55,7 @@ void SparseLU<T>::factor(const SparseMatrix<T>& a, double pivotThreshold) {
   std::vector<char> mark(n_, 0);
   std::vector<int> pattern;
   pattern.reserve(n_);
+  std::vector<std::pair<int, T>> ucol;  // U entries of the current column
 
   for (size_t kcol = 0; kcol < n_; ++kcol) {
     const int j = colOrder_[kcol];
@@ -66,10 +69,13 @@ void SparseLU<T>::factor(const SparseMatrix<T>& a, double pivotThreshold) {
       }
     }
     // Left-looking update: apply previously computed L columns, in
-    // elimination order, for every upper entry of this column.
+    // elimination order, for every *structurally* reachable upper entry of
+    // this column. Numerically-zero U entries still propagate their L
+    // pattern so the stored fill pattern is value-independent and
+    // refactor() can replay it with different numbers.
     for (size_t t = 0; t < kcol; ++t) {
-      const int prow = permRow[t];  // original row eliminated at step t
-      if (!mark[prow] || work[prow] == T{}) continue;
+      const int prow = permRow_[t];  // original row eliminated at step t
+      if (!mark[prow]) continue;
       const T ujt = work[prow];  // value of U(t, kcol)
       // work -= ujt * L(:, t)
       for (int p = lPtr_[t]; p < lPtr_[t + 1]; ++p) {
@@ -111,48 +117,113 @@ void SparseLU<T>::factor(const SparseMatrix<T>& a, double pivotThreshold) {
     PSMN_CHECK(pivotRow >= 0, "sparse LU: no pivot candidate");
     const T pivot = work[pivotRow];
     rowPerm_[pivotRow] = static_cast<int>(kcol);
-    permRow[kcol] = pivotRow;
+    permRow_[kcol] = pivotRow;
 
     // Emit U entries (rows already eliminated) and L entries (the rest).
+    // Exact numeric zeros are kept: the pattern must cover every position a
+    // refactor() with different values could fill.
+    ucol.clear();
     for (int r : pattern) {
       const T v = work[r];
       work[r] = T{};
       mark[r] = 0;
-      if (v == T{}) continue;
       if (rowPerm_[r] >= 0 && rowPerm_[r] < static_cast<int>(kcol)) {
-        uIdx_.push_back(rowPerm_[r]);
-        uVal_.push_back(v);
+        ucol.emplace_back(rowPerm_[r], v);
       } else if (r == pivotRow) {
-        // diagonal of U, stored last within the column for easy access
+        // diagonal of U, appended after the sort below
       } else {
         lIdx_.push_back(r);  // keep original row index for L
         lVal_.push_back(v / pivot);
       }
+    }
+    // U column sorted ascending by permuted row so refactor() replays the
+    // updates in elimination order; the diagonal (largest index) sits last.
+    std::sort(ucol.begin(), ucol.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (const auto& [row, v] : ucol) {
+      uIdx_.push_back(row);
+      uVal_.push_back(v);
     }
     uIdx_.push_back(static_cast<int>(kcol));
     uVal_.push_back(pivot);
     lPtr_.push_back(static_cast<int>(lIdx_.size()));
     uPtr_.push_back(static_cast<int>(uIdx_.size()));
   }
+  valid_ = true;
+}
+
+template <class T>
+bool SparseLU<T>::refactor(const SparseMatrix<T>& a, double pivotTol) {
+  // !valid_ also covers a factor() that threw mid-build: its partially
+  // constructed pattern must not be replayed.
+  if (n_ == 0 || !valid_ || a.rows() != n_ || a.cols() != n_ ||
+      a.nonZeros() != patternNnz_) {
+    valid_ = false;
+    return false;
+  }
+  const auto aPtr = a.colPointers();
+  const auto aIdx = a.rowIndices();
+  const auto aVal = a.values();
+  work_.assign(n_, T{});
+
+  for (size_t kcol = 0; kcol < n_; ++kcol) {
+    const int j = colOrder_[kcol];
+    for (int p = aPtr[j]; p < aPtr[j + 1]; ++p) work_[aIdx[p]] = aVal[p];
+
+    const int ubeg = uPtr_[kcol];
+    const int uend = uPtr_[kcol + 1] - 1;  // diagonal stored last
+    for (int p = ubeg; p < uend; ++p) {
+      const int t = uIdx_[p];
+      const T ujt = work_[permRow_[t]];
+      uVal_[p] = ujt;
+      if (ujt == T{}) continue;
+      for (int lp = lPtr_[t]; lp < lPtr_[t + 1]; ++lp) {
+        work_[lIdx_[lp]] -= lVal_[lp] * ujt;
+      }
+    }
+    const int pivotRow = permRow_[kcol];
+    const T pivot = work_[pivotRow];
+    // The kept pivot must not have collapsed relative to the remaining
+    // candidates in its column; `!(.. > ..)` also rejects NaN.
+    double colMax = std::abs(pivot);
+    for (int lp = lPtr_[kcol]; lp < lPtr_[kcol + 1]; ++lp) {
+      colMax = std::max(colMax, std::abs(work_[lIdx_[lp]]));
+    }
+    if (!(std::abs(pivot) > pivotTol * colMax) || pivot == T{}) {
+      work_.assign(n_, T{});
+      valid_ = false;
+      return false;
+    }
+    uVal_[uend] = pivot;
+    for (int lp = lPtr_[kcol]; lp < lPtr_[kcol + 1]; ++lp) {
+      lVal_[lp] = work_[lIdx_[lp]] / pivot;
+    }
+    // Clear exactly the positions this column touched (its structural
+    // closure: A-scatter and L-update targets all land in U, L, or the
+    // pivot), leaving work_ all-zero for the next column.
+    for (int p = ubeg; p <= uend; ++p) work_[permRow_[uIdx_[p]]] = T{};
+    for (int lp = lPtr_[kcol]; lp < lPtr_[kcol + 1]; ++lp) {
+      work_[lIdx_[lp]] = T{};
+    }
+  }
+  valid_ = true;
+  return true;
 }
 
 template <class T>
 void SparseLU<T>::solveInPlace(std::span<T> b) const {
   PSMN_CHECK(b.size() == n_, "sparse LU solve: rhs size mismatch");
-  // permRow maps elimination step -> original pivot row.
-  std::vector<int> permRow(n_);
-  for (size_t r = 0; r < n_; ++r) permRow[rowPerm_[r]] = static_cast<int>(r);
-
+  PSMN_CHECK(valid_, "sparse LU solve: not factored");
+  solveRhs_.assign(b.begin(), b.end());
+  solveX_.assign(n_, T{});
   // Forward solve L y = P b, with L unit-diagonal; L columns carry original
   // row indices, so updates scatter into the (still original-indexed) rhs.
-  std::vector<T> rhs(b.begin(), b.end());
-  std::vector<T> x(n_, T{});
   for (size_t t = 0; t < n_; ++t) {
-    const T yt = rhs[permRow[t]];
-    x[t] = yt;
+    const T yt = solveRhs_[permRow_[t]];
+    solveX_[t] = yt;
     if (yt == T{}) continue;
     for (int p = lPtr_[t]; p < lPtr_[t + 1]; ++p) {
-      rhs[lIdx_[p]] -= lVal_[p] * yt;
+      solveRhs_[lIdx_[p]] -= lVal_[p] * yt;
     }
   }
   // Column-oriented backward substitution: process columns from last to
@@ -160,16 +231,60 @@ void SparseLU<T>::solveInPlace(std::span<T> b) const {
   for (size_t tt = n_; tt-- > 0;) {
     const int diagPos = uPtr_[tt + 1] - 1;
     const T diag = uVal_[diagPos];
-    const T xt = x[tt] / diag;
-    x[tt] = xt;
+    const T xt = solveX_[tt] / diag;
+    solveX_[tt] = xt;
     if (xt == T{}) continue;
     for (int p = uPtr_[tt]; p < diagPos; ++p) {
-      x[uIdx_[p]] -= uVal_[p] * xt;
+      solveX_[uIdx_[p]] -= uVal_[p] * xt;
     }
   }
   // Un-permute columns: elimination step t corresponds to original column
   // colOrder_[t].
-  for (size_t t = 0; t < n_; ++t) b[colOrder_[t]] = x[t];
+  for (size_t t = 0; t < n_; ++t) b[colOrder_[t]] = solveX_[t];
+}
+
+template <class T>
+void SparseLU<T>::solveManyInPlace(std::span<T> b, size_t nrhs) const {
+  PSMN_CHECK(b.size() == n_ * nrhs, "sparse LU solve: rhs block size mismatch");
+  PSMN_CHECK(valid_, "sparse LU solve: not factored");
+  if (nrhs == 0) return;
+  if (nrhs == 1) {
+    solveInPlace(b);
+    return;
+  }
+  solveRhs_.assign(b.begin(), b.end());
+  solveX_.assign(n_ * nrhs, T{});
+  T* rhs = solveRhs_.data();
+  T* x = solveX_.data();
+  // Forward solve: one traversal of each L column updates every RHS.
+  for (size_t t = 0; t < n_; ++t) {
+    const int pr = permRow_[t];
+    for (size_t r = 0; r < nrhs; ++r) x[r * n_ + t] = rhs[r * n_ + pr];
+    for (int p = lPtr_[t]; p < lPtr_[t + 1]; ++p) {
+      const int idx = lIdx_[p];
+      const T lv = lVal_[p];
+      for (size_t r = 0; r < nrhs; ++r) {
+        rhs[r * n_ + idx] -= lv * x[r * n_ + t];
+      }
+    }
+  }
+  // Backward substitution, again amortizing the pattern walk over all RHS.
+  for (size_t tt = n_; tt-- > 0;) {
+    const int diagPos = uPtr_[tt + 1] - 1;
+    const T diag = uVal_[diagPos];
+    for (size_t r = 0; r < nrhs; ++r) x[r * n_ + tt] /= diag;
+    for (int p = uPtr_[tt]; p < diagPos; ++p) {
+      const int idx = uIdx_[p];
+      const T uv = uVal_[p];
+      for (size_t r = 0; r < nrhs; ++r) {
+        x[r * n_ + idx] -= uv * x[r * n_ + tt];
+      }
+    }
+  }
+  for (size_t t = 0; t < n_; ++t) {
+    const int oc = colOrder_[t];
+    for (size_t r = 0; r < nrhs; ++r) b[r * n_ + oc] = x[r * n_ + t];
+  }
 }
 
 template <class T>

@@ -3,6 +3,20 @@
 // pre-ordering. This is the solver used for netlists too large for the
 // dense path; for the paper's benchmark circuits either backend works and
 // tests assert that they agree.
+//
+// Designed around the transient engine's access pattern:
+//   * factor() once does the symbolic work (column ordering, pivot
+//     sequence, fill pattern);
+//   * refactor() renumbers the same pattern for a matrix with identical
+//     structure but new values (every Newton iteration / time step),
+//     allocation-free, falling back to a full factor() when a kept pivot
+//     goes bad;
+//   * solveInPlace()/solveManyInPlace() reuse member scratch so repeated
+//     solves (multi-RHS sensitivity columns) never touch the heap.
+//
+// NOT thread-safe per object: the const solve methods mutate member
+// scratch, so concurrent solves must use one SparseLU per thread (batch
+// RHS columns into solveManyInPlace instead of parallelizing solves).
 #pragma once
 
 #include <span>
@@ -25,23 +39,47 @@ class SparseLU {
 
   void factor(const SparseMatrix<T>& a, double pivotThreshold = 0.1);
 
+  /// Numeric-only refactorization: reuses the pivot sequence, column order,
+  /// and fill pattern of the last factor(). `a` must have the same sparsity
+  /// pattern as the matrix passed to factor(). Returns false (leaving the
+  /// factorization invalid) when a reused pivot fails the relative pivot
+  /// check — the caller should then do a full factor(). `pivotTol` guards
+  /// against kept pivots that the new values have demoted: a pivot below
+  /// pivotTol * (column max) means the old pivot order is no longer
+  /// trustworthy (values drifted far, e.g. a DC homotopy rung), and
+  /// accepting it would poison the factorization.
+  bool refactor(const SparseMatrix<T>& a, double pivotTol = 1e-3);
+
   std::vector<T> solve(std::span<const T> b) const;
   void solveInPlace(std::span<T> b) const;
 
+  /// Batched solve of `nrhs` right-hand sides stored column-major in `b`
+  /// (column r occupies b[r*n .. r*n + n-1]); one traversal of the L/U
+  /// pattern serves all columns.
+  void solveManyInPlace(std::span<T> b, size_t nrhs) const;
+
   size_t size() const { return n_; }
-  bool factored() const { return n_ > 0; }
+  bool factored() const { return n_ > 0 && valid_; }
   size_t factorNonZeros() const { return lVal_.size() + uVal_.size(); }
 
  private:
   size_t n_ = 0;
-  // L (unit diagonal implicit) and U in CSC, column by column.
+  bool valid_ = false;
+  size_t patternNnz_ = 0;  // nnz of the matrix factor() consumed
+  // L (unit diagonal implicit) and U in CSC, column by column. U columns are
+  // sorted ascending by permuted row index so the diagonal sits last and
+  // refactor() can replay the left-looking updates in elimination order.
   std::vector<int> lPtr_, lIdx_;
   std::vector<T> lVal_;
   std::vector<int> uPtr_, uIdx_;
   std::vector<T> uVal_;
   std::vector<int> rowPerm_;     // rowPerm_[original row] = permuted row
+  std::vector<int> permRow_;     // inverse: permuted row -> original row
   std::vector<int> colOrder_;    // column elimination order
   std::vector<int> invColOrder_; // inverse of colOrder_
+  // Scratch reused across refactor/solve calls (kept zeroed between uses).
+  mutable std::vector<T> work_;
+  mutable std::vector<T> solveRhs_, solveX_;
 };
 
 }  // namespace psmn

@@ -48,8 +48,17 @@ SparseMatrix<T> SparseMatrix<T>::fromDense(const Matrix<T>& dense,
 
 template <class T>
 std::vector<T> SparseMatrix<T>::multiply(std::span<const T> x) const {
-  PSMN_CHECK(x.size() == cols_, "sparse multiply: shape mismatch");
   std::vector<T> y(rows_, T{});
+  multiplyInto(x, y);
+  return y;
+}
+
+template <class T>
+void SparseMatrix<T>::multiplyInto(std::span<const T> x,
+                                   std::span<T> y) const {
+  PSMN_CHECK(x.size() == cols_ && y.size() == rows_,
+             "sparse multiply: shape mismatch");
+  std::fill(y.begin(), y.end(), T{});
   for (size_t c = 0; c < cols_; ++c) {
     const T xc = x[c];
     if (xc == T{}) continue;
@@ -57,7 +66,6 @@ std::vector<T> SparseMatrix<T>::multiply(std::span<const T> x) const {
       y[rowIdx_[k]] += values_[k] * xc;
     }
   }
-  return y;
 }
 
 template <class T>

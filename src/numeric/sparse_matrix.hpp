@@ -41,9 +41,39 @@ class SparseMatrix {
   std::span<const int> colPointers() const { return colPtr_; }
   std::span<const int> rowIndices() const { return rowIdx_; }
   std::span<const T> values() const { return values_; }
+  std::span<T> values() { return values_; }
+
+  /// Pointer to the stored value at (row, col), or nullptr when the
+  /// position is not part of the sparsity pattern. Branch-light binary
+  /// search within the column (row indices are kept sorted per column);
+  /// inline because the MNA assembly path calls it for every device stamp.
+  T* find(int row, int col) {
+    if (row < 0 || col < 0 || static_cast<size_t>(col) >= cols_) {
+      return nullptr;
+    }
+    const int* base = rowIdx_.data() + colPtr_[col];
+    size_t len = static_cast<size_t>(colPtr_[col + 1] - colPtr_[col]);
+    while (len > 1) {
+      const size_t half = len / 2;
+      base += (base[half - 1] < row) ? half : 0;
+      len -= half;
+    }
+    if (len == 0 || *base != row) return nullptr;
+    return values_.data() + (base - rowIdx_.data());
+  }
+  const T* find(int row, int col) const {
+    return const_cast<SparseMatrix*>(this)->find(row, col);
+  }
+
+  /// Zeroes the stored values, keeping the pattern. Used to reset a cached
+  /// assembly pattern before re-stamping.
+  void zeroValues() { std::fill(values_.begin(), values_.end(), T{}); }
 
   /// y = A x.
   std::vector<T> multiply(std::span<const T> x) const;
+
+  /// y = A x into caller storage (no allocation).
+  void multiplyInto(std::span<const T> x, std::span<T> y) const;
 
   Matrix<T> toDense() const;
 

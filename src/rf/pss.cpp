@@ -233,7 +233,7 @@ PssResult solvePssAutonomous(const MnaSystem& sys, Real periodGuess,
       res.autonomous = true;
       res.phaseIndex = phaseIndex;
       // d x(T)/dT at the solution, for the adjoint period sensitivity.
-      const Real dT = 1e-7 * period;
+      const Real dT = 1e-4 * period;
       PeriodIntegration piT = integratePeriod(sys, x0, 0.0, period + dT,
                                               opt.stepsPerPeriod, opt, false,
                                               false);
@@ -243,8 +243,12 @@ PssResult solvePssAutonomous(const MnaSystem& sys, Real periodGuess,
       }
       return res;
     }
-    // dx(T)/dT by finite-differencing the whole integration.
-    const Real dT = 1e-7 * period;
+    // dx(T)/dT by finite-differencing the whole integration. The FD step
+    // must sit well above the inner Newton noise floor (~updateTol per
+    // step): 1e-4*T gives a ~1e-4 V signal against ~1e-9 V noise, keeping
+    // the bordered Jacobian clean (1e-7*T made shooting limp to the
+    // iteration cap).
+    const Real dT = 1e-4 * period;
     PeriodIntegration piT = integratePeriod(sys, x0, 0.0, period + dT,
                                             opt.stepsPerPeriod, opt, false,
                                             false);

@@ -1,0 +1,95 @@
+// Allocation-tracking tests: the transient stepping kernel must not touch
+// the heap in the steady state (after the first step has sized the
+// workspace, cached the sparsity pattern, and done the symbolic
+// factorization). Global operator new/delete are overridden in this
+// binary to count allocations; the counters are read only around the
+// measured stepping loops, so gtest's own bookkeeping does not interfere.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "circuit/stdcell.hpp"
+#include "engine/dc.hpp"
+#include "engine/transient.hpp"
+
+namespace {
+std::atomic<size_t> gAllocCount{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++gAllocCount;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++gAllocCount;
+  if (void* p = std::aligned_alloc(static_cast<size_t>(align), size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+
+namespace psmn {
+namespace {
+
+// Steps the system `warmup + measured` times with a persistent workspace
+// and returns the number of allocations during the measured tail.
+size_t allocationsPerSteadyState(LinearSolverKind solver, size_t warmup,
+                                 size_t measured) {
+  Netlist nl;
+  auto kit = ProcessKit::cmos130();
+  RingOscillatorOptions oopt;
+  oopt.stages = 65;  // 67 MNA unknowns: comfortably past the kAuto crossover
+  const auto osc = buildRingOscillator(nl, kit, oopt);
+  MnaSystem sys(nl);
+  const size_t n = sys.size();
+
+  RealVector x = solveDc(sys, {}).x;
+  for (size_t i = 0; i < osc.stages.size(); ++i) {
+    x[nl.nodeIndex(osc.stages[i])] += (i % 2 ? 0.2 : -0.2);
+  }
+  RealVector q;
+  sys.evalDense(x, 0.0, nullptr, &q, nullptr, nullptr, {});
+  RealVector qd(n, 0.0);
+
+  TranOptions opt;
+  opt.method = IntegrationMethod::kBackwardEuler;
+  opt.solver = solver;
+  TransientWorkspace ws;
+  const Real h = 5e-12;
+  Real t = 0.0;
+  bool beStep = true;
+  for (size_t k = 0; k < warmup; ++k) {
+    EXPECT_TRUE(integrateStep(sys, opt.method, beStep, t, h, x, q, qd,
+                              nullptr, opt, ws));
+    beStep = false;
+    t += h;
+  }
+  const size_t before = gAllocCount.load();
+  for (size_t k = 0; k < measured; ++k) {
+    integrateStep(sys, opt.method, false, t, h, x, q, qd, nullptr, opt, ws);
+    t += h;
+  }
+  return gAllocCount.load() - before;
+}
+
+TEST(Allocation, SparseSteadyStateStepsAreHeapFree) {
+  EXPECT_EQ(allocationsPerSteadyState(LinearSolverKind::kSparse, 20, 100), 0u);
+}
+
+TEST(Allocation, DenseSteadyStateStepsAreHeapFree) {
+  EXPECT_EQ(allocationsPerSteadyState(LinearSolverKind::kDense, 20, 100), 0u);
+}
+
+}  // namespace
+}  // namespace psmn

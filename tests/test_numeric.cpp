@@ -177,6 +177,134 @@ TEST(SparseLu, ThrowsOnSingular) {
   EXPECT_THROW(SparseLU<Real>{sp}, NumericalError);
 }
 
+TEST(SparseMatrix, FindLocatesPatternSlots) {
+  std::vector<Triplet<Real>> trips{{0, 0, 1.0}, {2, 0, -1.0}, {1, 1, 2.0}};
+  auto m = RealSparse::fromTriplets(3, 3, trips);
+  ASSERT_NE(m.find(2, 0), nullptr);
+  EXPECT_DOUBLE_EQ(*m.find(2, 0), -1.0);
+  EXPECT_EQ(m.find(1, 0), nullptr);   // not in pattern
+  EXPECT_EQ(m.find(-1, 0), nullptr);  // ground
+  *m.find(1, 1) += 0.5;
+  EXPECT_DOUBLE_EQ(m.toDense()(1, 1), 2.5);
+  m.zeroValues();
+  EXPECT_EQ(m.nonZeros(), 3u);  // pattern kept
+  EXPECT_DOUBLE_EQ(m.toDense()(0, 0), 0.0);
+}
+
+// Returns a random sparse matrix with the same pattern for every `salt`,
+// so refactor() sees identical structure with fresh values.
+RealSparse patternedRandom(size_t n, uint64_t seed, uint64_t salt) {
+  Rng pat(seed);
+  std::vector<std::pair<int, int>> positions;
+  for (size_t i = 0; i < n; ++i) {
+    positions.emplace_back(static_cast<int>(i), static_cast<int>(i));
+    for (size_t k = 0; k < 3; ++k) {
+      const auto j = static_cast<size_t>(pat.uniform(0.0, 1.0) * n);
+      if (j < n && j != i) {
+        positions.emplace_back(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  Rng val(seed * 7919 + salt);
+  std::vector<Triplet<Real>> trips;
+  for (auto [i, j] : positions) {
+    trips.push_back({i, j, i == j ? val.uniform(2.0, 4.0)
+                                  : val.uniform(-1.0, 1.0)});
+  }
+  return RealSparse::fromTriplets(n, n, trips);
+}
+
+TEST(SparseLu, RefactorMatchesFullFactor) {
+  const size_t n = 40;
+  SparseLU<Real> lu(patternedRandom(n, 3, 0));
+  for (uint64_t salt = 1; salt <= 4; ++salt) {
+    const auto a = patternedRandom(n, 3, salt);
+    ASSERT_TRUE(lu.refactor(a));
+    RealVector xTrue(n);
+    Rng rng(100 + salt);
+    for (auto& v : xTrue) v = rng.uniform(-2.0, 2.0);
+    const RealVector b = a.multiply(xTrue);
+    const RealVector x = lu.solve(b);
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xTrue[i], 1e-8);
+  }
+}
+
+TEST(SparseLu, RefactorRejectsCollapsedPivot) {
+  // Factor a well-conditioned matrix, then refactor with values that drive
+  // the kept pivot to zero: refactor must decline rather than divide by ~0.
+  std::vector<Triplet<Real>> good{{0, 0, 4.0}, {1, 1, 3.0}, {0, 1, 1.0}};
+  SparseLU<Real> lu(RealSparse::fromTriplets(2, 2, good));
+  std::vector<Triplet<Real>> bad{{0, 0, 0.0}, {1, 1, 3.0}, {0, 1, 1.0}};
+  EXPECT_FALSE(lu.refactor(RealSparse::fromTriplets(2, 2, bad)));
+  EXPECT_FALSE(lu.factored());
+  // A full factor restores the solver.
+  lu.factor(RealSparse::fromTriplets(2, 2, good));
+  EXPECT_TRUE(lu.factored());
+}
+
+TEST(SparseLu, RefactorDeclinesAfterFailedFactor) {
+  // A factor() that throws mid-build leaves a partial factorization; a
+  // subsequent refactor() must refuse to replay it even when the matrix
+  // has the same size and nonzero count (the pre-guard cases).
+  const size_t n = 8;
+  const auto good = patternedRandom(n, 5, 0);
+  SparseLU<Real> lu(good);
+  // Same pattern as `good`, but one column numerically all-zero: factor()
+  // throws partway through with internal state half-built.
+  auto poisoned = good;
+  {
+    const auto ptr = poisoned.colPointers();
+    auto vals = poisoned.values();
+    for (int k = ptr[3]; k < ptr[4]; ++k) vals[k] = 0.0;
+  }
+  EXPECT_THROW(lu.factor(poisoned), NumericalError);
+  EXPECT_FALSE(lu.factored());
+  EXPECT_FALSE(lu.refactor(good));
+  lu.factor(good);
+  EXPECT_TRUE(lu.factored());
+}
+
+TEST(SparseLu, MultiRhsSolveMatchesScatteredSolves) {
+  const size_t n = 24;
+  const size_t nrhs = 7;
+  const auto a = patternedRandom(n, 11, 0);
+  SparseLU<Real> lu(a);
+  Rng rng(99);
+  RealVector batch(n * nrhs);
+  for (auto& v : batch) v = rng.uniform(-1.0, 1.0);
+  std::vector<RealVector> singles;
+  for (size_t r = 0; r < nrhs; ++r) {
+    singles.push_back(lu.solve(
+        std::span<const Real>(batch.data() + r * n, n)));
+  }
+  lu.solveManyInPlace(batch, nrhs);
+  for (size_t r = 0; r < nrhs; ++r) {
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_DOUBLE_EQ(batch[r * n + i], singles[r][i]);
+    }
+  }
+}
+
+TEST(DenseLu, MultiRhsSolveMatchesScatteredSolves) {
+  const size_t n = 9;
+  const size_t nrhs = 4;
+  Rng rng(21);
+  const DenseLU<Real> lu(randomMatrix(n, rng));
+  RealVector batch(n * nrhs);
+  for (auto& v : batch) v = rng.uniform(-1.0, 1.0);
+  std::vector<RealVector> singles;
+  for (size_t r = 0; r < nrhs; ++r) {
+    singles.push_back(lu.solve(
+        std::span<const Real>(batch.data() + r * n, n)));
+  }
+  lu.solveManyInPlace(batch, nrhs);
+  for (size_t r = 0; r < nrhs; ++r) {
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_DOUBLE_EQ(batch[r * n + i], singles[r][i]);
+    }
+  }
+}
+
 // ------------------------------------------------------------- cholesky
 
 TEST(Cholesky, ReconstructsCovariance) {

@@ -1,0 +1,236 @@
+// Golden agreement tests for the sparse solver path: the sparse engines
+// (cached-pattern assembly + SparseLU refactorization + batched multi-RHS
+// sensitivity solves) must reproduce the dense path on the benchmark
+// fixtures to near machine precision. Newton tolerances are tightened so
+// both backends converge to the same discrete solution and the comparison
+// threshold of 1e-10 is meaningful.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/stdcell.hpp"
+#include "engine/dc.hpp"
+#include "engine/transient.hpp"
+#include "engine/transient_sensitivity.hpp"
+
+namespace psmn {
+namespace {
+
+constexpr Real kGoldenTol = 1e-10;
+
+TranOptions tightOptions(LinearSolverKind solver) {
+  TranOptions opt;
+  opt.method = IntegrationMethod::kBackwardEuler;
+  opt.residualTol = 1e-12;
+  opt.updateTol = 1e-12;
+  opt.solver = solver;
+  return opt;
+}
+
+// ------------------------------------------------------------- assembly
+
+TEST(SparseMna, EvalSparseMatchesEvalDense) {
+  Netlist nl;
+  auto kit = ProcessKit::cmos130();
+  buildComparatorTestbench(nl, kit);
+  MnaSystem sys(nl);
+  const size_t n = sys.size();
+  RealVector x(n);
+  for (size_t i = 0; i < n; ++i) x[i] = 0.3 + 0.05 * static_cast<Real>(i % 7);
+
+  MnaSystem::EvalOptions eopt;
+  eopt.gshunt = 1e-6;  // exercises the node-diagonal slots
+  RealVector fd, qd, fs, qs;
+  RealMatrix g, c;
+  RealSparse gsp, csp;
+  sys.evalDense(x, 0.7e-9, &fd, &qd, &g, &c, eopt);
+  sys.evalSparse(x, 0.7e-9, &fs, &qs, &gsp, &csp, eopt);
+
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(fs[i], fd[i], 1e-14) << "f[" << i << "]";
+    EXPECT_NEAR(qs[i], qd[i], 1e-14) << "q[" << i << "]";
+  }
+  EXPECT_LT(maxAbsDiff(gsp.toDense(), g), 1e-14);
+  EXPECT_LT(maxAbsDiff(csp.toDense(), c), 1e-14);
+
+  // Re-stamping at a different iterate reuses the pattern and still agrees.
+  const size_t nnzG = gsp.nonZeros();
+  for (size_t i = 0; i < n; ++i) x[i] = 0.9 - 0.04 * static_cast<Real>(i % 5);
+  sys.evalDense(x, 1.3e-9, &fd, &qd, &g, &c, eopt);
+  sys.evalSparse(x, 1.3e-9, &fs, &qs, &gsp, &csp, eopt);
+  EXPECT_EQ(gsp.nonZeros(), nnzG);  // cached pattern, not rebuilt
+  EXPECT_LT(maxAbsDiff(gsp.toDense(), g), 1e-14);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(fs[i], fd[i], 1e-14);
+}
+
+// ------------------------------------------------------------------- DC
+
+TEST(SparseDc, OperatingPointMatchesDense) {
+  Netlist nl;
+  auto kit = ProcessKit::cmos130();
+  buildInverterChain(nl, kit, {});
+  MnaSystem sys(nl);
+  DcOptions dense;
+  dense.solver = LinearSolverKind::kDense;
+  DcOptions sparse;
+  sparse.solver = LinearSolverKind::kSparse;
+  const DcResult xd = solveDc(sys, dense);
+  const DcResult xs = solveDc(sys, sparse);
+  for (size_t i = 0; i < sys.size(); ++i) {
+    EXPECT_NEAR(xs.x[i], xd.x[i], kGoldenTol) << "unknown " << i;
+  }
+}
+
+// -------------------------------------------------------------- transient
+
+TEST(SparseTransient, InverterChainMatchesDense) {
+  Netlist nl;
+  auto kit = ProcessKit::cmos130();
+  InverterChainOptions copt;
+  copt.stages = 12;
+  const auto chain = buildInverterChain(nl, kit, copt);
+  MnaSystem sys(nl);
+
+  const Real t1 = 2e-9, dt = 5e-12;
+  const TransientResult dense =
+      runTransient(sys, 0.0, t1, dt, tightOptions(LinearSolverKind::kDense));
+  const TransientResult sparse =
+      runTransient(sys, 0.0, t1, dt, tightOptions(LinearSolverKind::kSparse));
+
+  ASSERT_EQ(dense.times.size(), sparse.times.size());
+  for (size_t k = 0; k < dense.times.size(); ++k) {
+    for (size_t i = 0; i < sys.size(); ++i) {
+      EXPECT_NEAR(sparse.states[k][i], dense.states[k][i], kGoldenTol)
+          << "t=" << dense.times[k] << " unknown " << i;
+    }
+  }
+}
+
+TEST(SparseTransient, RingOscillatorMatchesDense) {
+  Netlist nl;
+  auto kit = ProcessKit::cmos130();
+  const auto osc = buildRingOscillator(nl, kit);
+  MnaSystem sys(nl);
+  RealVector kick = solveDc(sys, {}).x;
+  for (size_t i = 0; i < osc.stages.size(); ++i) {
+    kick[nl.nodeIndex(osc.stages[i])] += (i % 2 ? 0.25 : -0.25);
+  }
+
+  TranOptions dopt = tightOptions(LinearSolverKind::kDense);
+  dopt.initialState = &kick;
+  TranOptions sopt = tightOptions(LinearSolverKind::kSparse);
+  sopt.initialState = &kick;
+  const Real t1 = 1e-9, dt = 5e-12;
+  const TransientResult dense = runTransient(sys, 0.0, t1, dt, dopt);
+  const TransientResult sparse = runTransient(sys, 0.0, t1, dt, sopt);
+
+  ASSERT_EQ(dense.times.size(), sparse.times.size());
+  for (size_t k = 0; k < dense.times.size(); ++k) {
+    for (size_t i = 0; i < sys.size(); ++i) {
+      EXPECT_NEAR(sparse.states[k][i], dense.states[k][i], kGoldenTol)
+          << "t=" << dense.times[k] << " unknown " << i;
+    }
+  }
+}
+
+TEST(SparseTransient, TrapezoidalAdaptiveMatchesDense) {
+  // The non-BE methods and the adaptive controller share the same kernel;
+  // spot-check they agree across backends too.
+  Netlist nl;
+  auto kit = ProcessKit::cmos130();
+  InverterChainOptions copt;
+  copt.stages = 10;
+  buildInverterChain(nl, kit, copt);
+  MnaSystem sys(nl);
+
+  TranOptions dopt = tightOptions(LinearSolverKind::kDense);
+  dopt.method = IntegrationMethod::kTrapezoidal;
+  dopt.adaptive = true;
+  TranOptions sopt = dopt;
+  sopt.solver = LinearSolverKind::kSparse;
+  const TransientResult dense = runTransient(sys, 0.0, 1e-9, 5e-12, dopt);
+  const TransientResult sparse = runTransient(sys, 0.0, 1e-9, 5e-12, sopt);
+
+  ASSERT_EQ(dense.times.size(), sparse.times.size());
+  for (size_t k = 0; k < dense.times.size(); ++k) {
+    for (size_t i = 0; i < sys.size(); ++i) {
+      EXPECT_NEAR(sparse.states[k][i], dense.states[k][i], kGoldenTol);
+    }
+  }
+}
+
+// ------------------------------------------------------------ sensitivity
+
+TEST(SparseSensitivity, InverterChainMatchesDense) {
+  Netlist nl;
+  auto kit = ProcessKit::cmos130();
+  InverterChainOptions copt;
+  copt.stages = 10;
+  buildInverterChain(nl, kit, copt);
+  MnaSystem sys(nl);
+  const auto sources = sys.collectSources(true, false);
+  ASSERT_GT(sources.size(), 10u);  // two mismatch params per MOSFET
+
+  const Real t1 = 1.5e-9, dt = 5e-12;
+  const TransientSensitivityResult dense = runTransientSensitivity(
+      sys, 0.0, t1, dt, sources, tightOptions(LinearSolverKind::kDense));
+  const TransientSensitivityResult sparse = runTransientSensitivity(
+      sys, 0.0, t1, dt, sources, tightOptions(LinearSolverKind::kSparse));
+
+  ASSERT_EQ(dense.times.size(), sparse.times.size());
+  for (size_t k = 0; k < dense.times.size(); ++k) {
+    for (size_t i = 0; i < sys.size(); ++i) {
+      EXPECT_NEAR(sparse.states[k][i], dense.states[k][i], kGoldenTol);
+    }
+  }
+  for (size_t s = 0; s < sources.size(); ++s) {
+    for (size_t k = 0; k < dense.times.size(); ++k) {
+      for (size_t i = 0; i < sys.size(); ++i) {
+        const Real ref = dense.sens[s][k][i];
+        EXPECT_NEAR(sparse.sens[s][k][i], ref,
+                    kGoldenTol * std::max(1.0, std::fabs(ref)))
+            << sources[s].name << " t=" << dense.times[k];
+      }
+    }
+  }
+  // The shared-Jacobian recursion must not add factorizations beyond the
+  // Newton kernel's own (plus the initial DC-sensitivity factor).
+  EXPECT_LE(sparse.luFactorizations,
+            sparse.times.size() * 10);  // sanity ceiling, not a perf claim
+}
+
+TEST(SparseSensitivity, RingOscillatorMatchesDense) {
+  Netlist nl;
+  auto kit = ProcessKit::cmos130();
+  const auto osc = buildRingOscillator(nl, kit);
+  MnaSystem sys(nl);
+  const auto sources = sys.collectSources(true, false);
+  RealVector kick = solveDc(sys, {}).x;
+  for (size_t i = 0; i < osc.stages.size(); ++i) {
+    kick[nl.nodeIndex(osc.stages[i])] += (i % 2 ? 0.25 : -0.25);
+  }
+
+  TranOptions dopt = tightOptions(LinearSolverKind::kDense);
+  dopt.initialState = &kick;
+  TranOptions sopt = tightOptions(LinearSolverKind::kSparse);
+  sopt.initialState = &kick;
+  const Real t1 = 0.5e-9, dt = 2e-12;
+  const TransientSensitivityResult dense =
+      runTransientSensitivity(sys, 0.0, t1, dt, sources, dopt);
+  const TransientSensitivityResult sparse =
+      runTransientSensitivity(sys, 0.0, t1, dt, sources, sopt);
+
+  ASSERT_EQ(dense.times.size(), sparse.times.size());
+  for (size_t s = 0; s < sources.size(); ++s) {
+    for (size_t k = 0; k < dense.times.size(); ++k) {
+      for (size_t i = 0; i < sys.size(); ++i) {
+        const Real ref = dense.sens[s][k][i];
+        EXPECT_NEAR(sparse.sens[s][k][i], ref,
+                    kGoldenTol * std::max(1.0, std::fabs(ref)));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psmn
