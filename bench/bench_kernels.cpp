@@ -3,6 +3,9 @@
 // transient steps and transient sensitivity, one shooting-PSS solve.
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+
 #include "circuit/stdcell.hpp"
 #include "engine/transient.hpp"
 #include "engine/transient_sensitivity.hpp"
@@ -243,6 +246,80 @@ void BM_TranSensSparse(benchmark::State& state) {
 }
 BENCHMARK(BM_TranSensDense)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TranSensSparse)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------ shooting PSS
+
+/// Shared per-stage-count warmup + seed orbit for the PSS shooting
+/// benchmark: computed once (with the sparse engine) and reused by both
+/// backends, so each benchmark iteration measures one full shooting solve
+/// from the same near-orbit guess — period integrations, monodromy
+/// accumulation, bordered Newton, and the trajectory pack.
+struct RingPssFixture {
+  Netlist nl;
+  std::unique_ptr<MnaSystem> sys;
+  int phaseIndex = -1;
+  RealVector x0;
+  Real period = 0.0;
+};
+
+const RingPssFixture& ringPssFixture(int stages) {
+  static std::map<int, std::unique_ptr<RingPssFixture>> cache;
+  auto& slot = cache[stages];
+  if (!slot) {
+    slot = std::make_unique<RingPssFixture>();
+    auto kit = ProcessKit::cmos130();
+    RingOscillatorOptions oopt;
+    oopt.stages = stages;
+    const auto osc = buildRingOscillator(slot->nl, kit, oopt);
+    slot->sys = std::make_unique<MnaSystem>(slot->nl);
+    const Real runTime = stages > 20 ? 400e-9 : 30e-9;
+    const Real dt = stages > 20 ? 20e-12 : 10e-12;
+    const RingWarmup warm =
+        warmupRingOscillator(*slot->sys, osc, runTime, dt);
+    slot->phaseIndex = warm.phaseIndex;
+    PssOptions opt;
+    opt.stepsPerPeriod = 180;
+    opt.solver = LinearSolverKind::kSparse;
+    const PssResult seed = solvePssAutonomous(
+        *slot->sys, warm.periodEstimate, warm.phaseIndex, warm.state, opt);
+    slot->x0 = seed.states[0];
+    slot->period = seed.period;
+  }
+  return *slot;
+}
+
+/// One autonomous shooting solve on an N-stage ring oscillator (N + 2 MNA
+/// unknowns), per backend. The dense path factors every period-integration
+/// step at O(n^3) and accumulates the monodromy through dense solves; the
+/// sparse path rides the cached-pattern workspace, numeric
+/// refactorizations, and batched monodromy substitutions.
+void pssShootingBench(benchmark::State& state, LinearSolverKind solver) {
+  const int stages = static_cast<int>(state.range(0));
+  const RingPssFixture& fx = ringPssFixture(stages);
+  PssOptions opt;
+  opt.stepsPerPeriod = 180;
+  opt.solver = solver;
+  size_t iters = 0;
+  for (auto _ : state) {
+    const PssResult pss = solvePssAutonomous(*fx.sys, fx.period,
+                                             fx.phaseIndex, fx.x0, opt);
+    iters += pss.shootingIterations;
+    benchmark::DoNotOptimize(pss);
+  }
+  state.counters["unknowns"] = static_cast<double>(fx.sys->size());
+  state.counters["shooting_iters"] = static_cast<double>(iters);
+}
+
+void BM_PssShootingDense(benchmark::State& state) {
+  pssShootingBench(state, LinearSolverKind::kDense);
+}
+void BM_PssShootingSparse(benchmark::State& state) {
+  pssShootingBench(state, LinearSolverKind::kSparse);
+}
+// 15 stages = 17 unknowns (below the sparse crossover), 63 stages = 65
+// unknowns (the acceptance fixture: sparse shooting must beat dense).
+BENCHMARK(BM_PssShootingDense)->Arg(15)->Arg(63)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PssShootingSparse)->Arg(15)->Arg(63)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace psmn

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Fail CI when a hot-path benchmark regresses against the committed baseline.
+
+Compares a fresh ``bench_kernels`` JSON run against
+``bench/baseline/bench_kernels.json``. Absolute timings are useless across
+machines (laptop vs CI runner), so every benchmark is first normalized by
+an anchor benchmark measured in the *same* run (a dense LU factorization,
+which exercises pure FLOPs and cache and tracks overall machine speed).
+The check fails when
+
+    (current[name] / current[anchor]) / (baseline[name] / baseline[anchor])
+
+exceeds ``--threshold`` (default 1.25, the ROADMAP "perf trajectory" bar)
+for any hot-path benchmark present in both files.
+
+Regenerate the baseline after an intentional perf change:
+
+    ./build/bench_kernels --benchmark_format=json \
+        --benchmark_out=bench/baseline/bench_kernels.json \
+        --benchmark_out_format=json
+"""
+
+import argparse
+import json
+import sys
+
+# The benchmarks that guard the product's hot paths: transient stepping,
+# multi-RHS sensitivity, sparse refactorization, and shooting PSS.
+HOT_PREFIXES = (
+    "BM_TransientStep",
+    "BM_TranSens",
+    "BM_SparseLuRefactor",
+    "BM_SparseLuSolveMulti",
+    "BM_PssShooting",
+)
+ANCHOR = "BM_DenseLuFactor/64"
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows
+        out[b["name"]] = float(b["real_time"])
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="fresh bench_kernels JSON")
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("--threshold", type=float, default=1.25,
+                    help="fail when normalized ratio exceeds this (1.25 = +25%%)")
+    args = ap.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    for name, table in (("current", current), ("baseline", baseline)):
+        if ANCHOR not in table:
+            print(f"error: anchor {ANCHOR} missing from {name} run",
+                  file=sys.stderr)
+            return 2
+
+    cur_anchor = current[ANCHOR]
+    base_anchor = baseline[ANCHOR]
+    print(f"anchor {ANCHOR}: current {cur_anchor:.0f} ns, "
+          f"baseline {base_anchor:.0f} ns")
+
+    failures = []
+    checked = 0
+    for name in sorted(baseline):
+        if not name.startswith(HOT_PREFIXES) or name not in current:
+            continue
+        checked += 1
+        ratio = (current[name] / cur_anchor) / (baseline[name] / base_anchor)
+        verdict = "FAIL" if ratio > args.threshold else "  ok"
+        print(f"{verdict}  {name:<40} {ratio:5.2f}x baseline (normalized)")
+        if ratio > args.threshold:
+            failures.append(name)
+
+    if checked == 0:
+        print("error: no hot-path benchmarks in common", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\n{len(failures)} hot-path regression(s) past "
+              f"{args.threshold:.2f}x: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} hot-path benchmarks within "
+          f"{args.threshold:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

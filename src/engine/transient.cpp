@@ -13,41 +13,6 @@ Real maxAbsVec(std::span<const Real> v) {
   return m;
 }
 
-/// Merges the G and C patterns into the Jacobian pattern J = G + a*C and
-/// precomputes the value-slot scatter maps. Runs once per pattern (and
-/// again only if evalSparse ever extends a pattern).
-void rebuildJacobianPattern(TransientWorkspace& ws) {
-  const size_t n = ws.gsp.rows();
-  std::vector<Triplet<Real>> trips;
-  trips.reserve(ws.gsp.nonZeros() + ws.csp.nonZeros());
-  for (const auto* m : {&ws.gsp, &ws.csp}) {
-    const auto ptr = m->colPointers();
-    const auto idx = m->rowIndices();
-    for (size_t c = 0; c < n; ++c) {
-      for (int k = ptr[c]; k < ptr[c + 1]; ++k) {
-        trips.push_back({idx[k], static_cast<int>(c), 0.0});
-      }
-    }
-  }
-  ws.jsp = RealSparse::fromTriplets(n, n, trips);
-  const Real* jBase = ws.jsp.values().data();
-  auto mapInto = [&](const RealSparse& m, std::vector<int>& map) {
-    map.resize(m.nonZeros());
-    const auto ptr = m.colPointers();
-    const auto idx = m.rowIndices();
-    for (size_t c = 0; c < n; ++c) {
-      for (int k = ptr[c]; k < ptr[c + 1]; ++k) {
-        const Real* slot = ws.jsp.find(idx[k], static_cast<int>(c));
-        PSMN_CHECK(slot != nullptr, "jacobian pattern merge lost a slot");
-        map[k] = static_cast<int>(slot - jBase);
-      }
-    }
-  };
-  mapInto(ws.gsp, ws.gToJ);
-  mapInto(ws.csp, ws.cToJ);
-  ws.sluSymbolic = false;  // pattern changed: next factor is symbolic again
-}
-
 }  // namespace
 
 RealVector TransientResult::waveform(int mnaIndex) const {
@@ -92,6 +57,7 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
       break;
   }
 
+  ws.acceptedA = a;
   ws.x1.assign(x.begin(), x.end());  // predictor: previous point
   MnaSystem::EvalOptions eopt;
   eopt.gshunt = opt.gshunt;
@@ -101,16 +67,9 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
     // Evaluate and assemble J = G + a*C.
     if (ws.sparse) {
       sys.evalSparse(ws.x1, t1, &ws.f, &ws.q1, &ws.gsp, &ws.csp, eopt);
-      if (ws.gToJ.size() != ws.gsp.nonZeros() ||
-          ws.cToJ.size() != ws.csp.nonZeros()) {
-        rebuildJacobianPattern(ws);
+      if (ws.jac.assemble(ws.gsp, ws.csp, a)) {
+        ws.sluSymbolic = false;  // pattern changed: next factor is symbolic
       }
-      ws.jsp.zeroValues();
-      const auto gv = ws.gsp.values();
-      const auto cv = ws.csp.values();
-      const auto jv = ws.jsp.values();
-      for (size_t k = 0; k < gv.size(); ++k) jv[ws.gToJ[k]] += gv[k];
-      for (size_t k = 0; k < cv.size(); ++k) jv[ws.cToJ[k]] += a * cv[k];
     } else {
       sys.evalDense(ws.x1, t1, &ws.f, &ws.q1, &ws.j, &ws.c, eopt);
       for (size_t i = 0; i < n; ++i) {
@@ -127,10 +86,10 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
     // full factor only on the first step or after a pivot breakdown).
     try {
       if (ws.sparse) {
-        if (ws.sluSymbolic && ws.slu.refactor(ws.jsp)) {
+        if (ws.sluSymbolic && ws.slu.refactor(ws.jac.matrix)) {
           ++ws.refactorizations;
         } else {
-          ws.slu.factor(ws.jsp);
+          ws.slu.factor(ws.jac.matrix);
           ws.sluSymbolic = true;
           ++ws.fullFactorizations;
         }

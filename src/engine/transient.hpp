@@ -71,12 +71,18 @@ struct TransientWorkspace {
   RealMatrix j, c;
   DenseLU<Real> dlu;
 
-  // Sparse backend: cached-pattern G/C, merged Jacobian pattern, and the
-  // slot maps scattering G/C values into J.
-  RealSparse gsp, csp, jsp;
-  std::vector<int> gToJ, cToJ;
+  // Sparse backend: cached-pattern G/C and the cached-pattern Jacobian
+  // assembler (J = G + a*C with precomputed value-scatter maps).
+  RealSparse gsp, csp;
+  MergedSparseAssembler<Real> jac;
   SparseLU<Real> slu;
   bool sluSymbolic = false;  // slu carries a reusable symbolic factorization
+
+  // Integration coefficient `a` of the most recent step (J = G + a*C; 1/h
+  // for BE). Lets consumers of the accepted-step linearization recover
+  // G = J - a*C from the dense workspace without a re-evaluation (the
+  // sparse workspace keeps G and C separately). Set by integrateStep.
+  Real acceptedA = 0.0;
 
   // Cost counters (cumulative over the workspace lifetime).
   size_t fullFactorizations = 0;

@@ -288,6 +288,83 @@ void SparseLU<T>::solveManyInPlace(std::span<T> b, size_t nrhs) const {
 }
 
 template <class T>
+void SparseLU<T>::solveTransposedInPlace(std::span<T> b) const {
+  PSMN_CHECK(b.size() == n_, "sparse LU solveT: rhs size mismatch");
+  PSMN_CHECK(valid_, "sparse LU solveT: not factored");
+  // With A^{-1} = Q U^{-1} L^{-1} P (see solveInPlace), the transposed
+  // solve is A^{-T} = P^T L^{-T} U^{-T} Q^T. Both triangular passes turn
+  // into gathers over the stored CSC columns: a column of U (resp. L) is a
+  // row of U^T (resp. L^T), so no scatter scratch is needed.
+  solveX_.resize(n_);
+  for (size_t t = 0; t < n_; ++t) solveX_[t] = b[colOrder_[t]];
+  // Forward solve U^T w = z: column t of U holds U(t', t), t' < t, with the
+  // diagonal stored last.
+  for (size_t t = 0; t < n_; ++t) {
+    const int diagPos = uPtr_[t + 1] - 1;
+    T acc = solveX_[t];
+    for (int p = uPtr_[t]; p < diagPos; ++p) acc -= uVal_[p] * solveX_[uIdx_[p]];
+    solveX_[t] = acc / uVal_[diagPos];
+  }
+  // Backward solve L^T v = w (unit diagonal): column t of L holds entries at
+  // original rows r that are eliminated later (rowPerm_[r] > t).
+  for (size_t tt = n_; tt-- > 0;) {
+    T acc = solveX_[tt];
+    for (int p = lPtr_[tt]; p < lPtr_[tt + 1]; ++p) {
+      acc -= lVal_[p] * solveX_[rowPerm_[lIdx_[p]]];
+    }
+    solveX_[tt] = acc;
+  }
+  for (size_t t = 0; t < n_; ++t) b[permRow_[t]] = solveX_[t];
+}
+
+template <class T>
+void SparseLU<T>::solveTransposedManyInPlace(std::span<T> b, size_t nrhs) const {
+  PSMN_CHECK(b.size() == n_ * nrhs,
+             "sparse LU solveT: rhs block size mismatch");
+  PSMN_CHECK(valid_, "sparse LU solveT: not factored");
+  if (nrhs == 0) return;
+  if (nrhs == 1) {
+    solveTransposedInPlace(b);
+    return;
+  }
+  solveX_.resize(n_ * nrhs);
+  T* x = solveX_.data();
+  for (size_t t = 0; t < n_; ++t) {
+    const int oc = colOrder_[t];
+    for (size_t r = 0; r < nrhs; ++r) x[r * n_ + t] = b[r * n_ + oc];
+  }
+  // One traversal of each U (then L) column serves every right-hand side.
+  for (size_t t = 0; t < n_; ++t) {
+    const int diagPos = uPtr_[t + 1] - 1;
+    const T diag = uVal_[diagPos];
+    for (int p = uPtr_[t]; p < diagPos; ++p) {
+      const int idx = uIdx_[p];
+      const T uv = uVal_[p];
+      for (size_t r = 0; r < nrhs; ++r) x[r * n_ + t] -= uv * x[r * n_ + idx];
+    }
+    for (size_t r = 0; r < nrhs; ++r) x[r * n_ + t] /= diag;
+  }
+  for (size_t tt = n_; tt-- > 0;) {
+    for (int p = lPtr_[tt]; p < lPtr_[tt + 1]; ++p) {
+      const size_t idx = static_cast<size_t>(rowPerm_[lIdx_[p]]);
+      const T lv = lVal_[p];
+      for (size_t r = 0; r < nrhs; ++r) x[r * n_ + tt] -= lv * x[r * n_ + idx];
+    }
+  }
+  for (size_t t = 0; t < n_; ++t) {
+    const int pr = permRow_[t];
+    for (size_t r = 0; r < nrhs; ++r) b[r * n_ + pr] = x[r * n_ + t];
+  }
+}
+
+template <class T>
+std::vector<T> SparseLU<T>::solveTransposed(std::span<const T> b) const {
+  std::vector<T> x(b.begin(), b.end());
+  solveTransposedInPlace(x);
+  return x;
+}
+
+template <class T>
 std::vector<T> SparseLU<T>::solve(std::span<const T> b) const {
   std::vector<T> x(b.begin(), b.end());
   solveInPlace(x);

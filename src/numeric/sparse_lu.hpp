@@ -58,6 +58,16 @@ class SparseLU {
   /// pattern serves all columns.
   void solveManyInPlace(std::span<T> b, size_t nrhs) const;
 
+  /// Solves A^T x = b (plain transpose; for complex T this is A^T, not
+  /// A^H — mirrors DenseLU::solveTransposed so the adjoint LPTV/PPV
+  /// engines can switch backends). The transposed substitution gathers
+  /// instead of scattering, so it reuses the same stored L/U pattern.
+  std::vector<T> solveTransposed(std::span<const T> b) const;
+  void solveTransposedInPlace(std::span<T> b) const;
+
+  /// Batched transposed solve, column-major like solveManyInPlace.
+  void solveTransposedManyInPlace(std::span<T> b, size_t nrhs) const;
+
   size_t size() const { return n_; }
   bool factored() const { return n_ > 0 && valid_; }
   size_t factorNonZeros() const { return lVal_.size() + uVal_.size(); }

@@ -79,4 +79,47 @@ Matrix<T> SparseMatrix<T>::toDense() const {
 template class SparseMatrix<Real>;
 template class SparseMatrix<Cplx>;
 
+template <class T, class U>
+void mergeSparsePatterns(const SparseMatrix<U>& a, const SparseMatrix<U>& b,
+                         SparseMatrix<T>& out, std::vector<int>& aToOut,
+                         std::vector<int>& bToOut) {
+  PSMN_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+             "pattern merge: shape mismatch");
+  const size_t cols = a.cols();
+  std::vector<Triplet<T>> trips;
+  trips.reserve(a.nonZeros() + b.nonZeros());
+  for (const SparseMatrix<U>* m : {&a, &b}) {
+    const auto ptr = m->colPointers();
+    const auto idx = m->rowIndices();
+    for (size_t c = 0; c < cols; ++c) {
+      for (int k = ptr[c]; k < ptr[c + 1]; ++k) {
+        trips.push_back({idx[k], static_cast<int>(c), T{}});
+      }
+    }
+  }
+  out = SparseMatrix<T>::fromTriplets(a.rows(), cols, trips);
+  const T* base = out.values().data();
+  auto mapInto = [&](const SparseMatrix<U>& m, std::vector<int>& map) {
+    map.resize(m.nonZeros());
+    const auto ptr = m.colPointers();
+    const auto idx = m.rowIndices();
+    for (size_t c = 0; c < cols; ++c) {
+      for (int k = ptr[c]; k < ptr[c + 1]; ++k) {
+        const T* slot = out.find(idx[k], static_cast<int>(c));
+        PSMN_CHECK(slot != nullptr, "pattern merge lost a slot");
+        map[k] = static_cast<int>(slot - base);
+      }
+    }
+  };
+  mapInto(a, aToOut);
+  mapInto(b, bToOut);
+}
+
+template void mergeSparsePatterns(const RealSparse&, const RealSparse&,
+                                  RealSparse&, std::vector<int>&,
+                                  std::vector<int>&);
+template void mergeSparsePatterns(const RealSparse&, const RealSparse&,
+                                  CplxSparse&, std::vector<int>&,
+                                  std::vector<int>&);
+
 }  // namespace psmn

@@ -88,4 +88,48 @@ class SparseMatrix {
 using RealSparse = SparseMatrix<Real>;
 using CplxSparse = SparseMatrix<Cplx>;
 
+/// Merges the patterns of two same-shape matrices into `out` (values
+/// zeroed) and fills the scatter maps from each input's value slots into
+/// `out`'s, so callers can re-assemble `out = f(a, b)` allocation-free:
+///   outVals[aToOut[p]] += aVals[p]; outVals[bToOut[p]] += coef*bVals[p].
+/// Shared by the transient workspace's Jacobian (J = G + a*C), the LPTV
+/// step matrices (K = G + (1/h + jw) C), and the PPV backward sweep.
+template <class T, class U>
+void mergeSparsePatterns(const SparseMatrix<U>& a, const SparseMatrix<U>& b,
+                         SparseMatrix<T>& out, std::vector<int>& aToOut,
+                         std::vector<int>& bToOut);
+
+/// Cached-pattern assembler for the ubiquitous `M = A + coef*B` stamp over
+/// two same-shape sparse inputs (transient Jacobian J = G + a*C, LPTV step
+/// matrix K = G + (1/h + jw)*C, PPV sweep J = G + C/h). Re-stamping into
+/// the cached merged pattern is allocation-free; a pattern change in the
+/// inputs (detected by nonzero count — evalSparse patterns only ever grow)
+/// rebuilds the merge. Callers holding a factorization of `matrix` must
+/// treat it as stale whenever assemble() returns true.
+template <class T>
+struct MergedSparseAssembler {
+  SparseMatrix<T> matrix;
+
+  /// Stamps matrix = a + coef*b; returns true when the cached pattern had
+  /// to be rebuilt (symbolic factorizations of `matrix` are then stale).
+  bool assemble(const SparseMatrix<Real>& a, const SparseMatrix<Real>& b,
+                T coef) {
+    bool rebuilt = false;
+    if (a.nonZeros() != aMap_.size() || b.nonZeros() != bMap_.size()) {
+      mergeSparsePatterns(a, b, matrix, aMap_, bMap_);
+      rebuilt = true;
+    }
+    matrix.zeroValues();
+    const auto av = a.values();
+    const auto bv = b.values();
+    const auto mv = matrix.values();
+    for (size_t k = 0; k < av.size(); ++k) mv[aMap_[k]] += av[k];
+    for (size_t k = 0; k < bv.size(); ++k) mv[bMap_[k]] += coef * bv[k];
+    return rebuilt;
+  }
+
+ private:
+  std::vector<int> aMap_, bMap_;
+};
+
 }  // namespace psmn

@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "numeric/dense_lu.hpp"
+#include "numeric/sparse_lu.hpp"
 
 namespace psmn {
 namespace {
@@ -19,6 +20,139 @@ CplxMatrix stepMatrix(const RealMatrix& g, const RealMatrix& c, Real invH,
     for (size_t j = 0; j < n; ++j) k(i, j) = g(i, j) + coef * c(i, j);
   return k;
 }
+
+// ---------------------------------------------------------------------
+// Backend-agnostic access to the PSS orbit linearizations: the PSS result
+// stores G_k/C_k either dense or in the sparse workspace's cached pattern;
+// the cyclic solves below only touch them through these kernels.
+
+/// out = (C_{k-1} v) / h  (the step coupling D_k applied to a complex
+/// envelope; C is real, so this is two real sparse multiplies in one).
+void applyD(const PssResult& pss, size_t k, std::span<const Cplx> v,
+            CplxVector& out, Real invH) {
+  const size_t n = v.size();
+  out.assign(n, Cplx{});
+  if (pss.sparseLinearizations) {
+    const RealSparse& c = pss.cSpMats[k - 1];
+    const auto ptr = c.colPointers();
+    const auto idx = c.rowIndices();
+    const auto val = c.values();
+    for (size_t j = 0; j < n; ++j) {
+      const Cplx xj = v[j];
+      if (xj == Cplx{}) continue;
+      for (int p = ptr[j]; p < ptr[j + 1]; ++p) out[idx[p]] += val[p] * xj;
+    }
+  } else {
+    const RealMatrix& c = pss.cMats[k - 1];
+    for (size_t i = 0; i < n; ++i) {
+      Cplx acc{};
+      const auto row = c.row(i);
+      for (size_t j = 0; j < n; ++j) acc += row[j] * v[j];
+      out[i] = acc;
+    }
+  }
+  for (auto& o : out) o *= invH;
+}
+
+/// out = (C_{k-1}^T v) / h  (D_k^T for the adjoint sweep).
+void applyDT(const PssResult& pss, size_t k, std::span<const Cplx> v,
+             CplxVector& out, Real invH) {
+  const size_t n = v.size();
+  if (pss.sparseLinearizations) {
+    const RealSparse& c = pss.cSpMats[k - 1];
+    const auto ptr = c.colPointers();
+    const auto idx = c.rowIndices();
+    const auto val = c.values();
+    out.resize(n);
+    for (size_t j = 0; j < n; ++j) {
+      Cplx acc{};
+      for (int p = ptr[j]; p < ptr[j + 1]; ++p) acc += val[p] * v[idx[p]];
+      out[j] = acc * invH;
+    }
+  } else {
+    const RealMatrix& c = pss.cMats[k - 1];
+    out.assign(n, Cplx{});
+    for (size_t i = 0; i < n; ++i) {
+      const Cplx vi = v[i];
+      if (vi == Cplx{}) continue;
+      const auto row = c.row(i);
+      for (size_t j = 0; j < n; ++j) out[j] += row[j] * vi;
+    }
+    for (auto& o : out) o *= invH;
+  }
+}
+
+/// The LPTV factor cache: K_k = G_k + (1/h + j w) C_k factored for every
+/// grid step k = 1..M, kept for the closure and forward/adjoint passes.
+/// Dense results use DenseLU as before; sparse results assemble K into one
+/// merged complex pattern (cached scatter maps, like the transient
+/// workspace's Jacobian) and factor with SparseLU — the symbolic
+/// factorization of step 1 is inherited by every later step through a
+/// copy + numeric refactor, so the O(n^3)-per-step dense cost collapses to
+/// O(fill) per step.
+class StepFactors {
+ public:
+  StepFactors(const PssResult& pss, Real invH, Cplx jw) {
+    const size_t m = pss.stepCount();
+    sparse_ = pss.sparseLinearizations;
+    if (!sparse_) {
+      dense_.reserve(m);
+      for (size_t k = 1; k <= m; ++k) {
+        dense_.emplace_back(stepMatrix(pss.gMats[k], pss.cMats[k], invH, jw));
+      }
+      return;
+    }
+    lus_.resize(m);
+    const Cplx coef = invH + jw;
+    MergedSparseAssembler<Cplx> kAsm;
+    bool symbolic = false;
+    for (size_t k = 1; k <= m; ++k) {
+      // A pattern change along the orbit (an evalSparse extension mid-run)
+      // rebuilds the merge and restarts the symbolic reuse chain.
+      if (kAsm.assemble(pss.gSpMats[k], pss.cSpMats[k], coef)) {
+        symbolic = false;
+      }
+      SparseLU<Cplx>& lu = lus_[k - 1];
+      if (symbolic) {
+        lu = lus_[k - 2];  // inherit the symbolic factorization
+        if (!lu.refactor(kAsm.matrix)) lu.factor(kAsm.matrix);
+      } else {
+        lu.factor(kAsm.matrix);
+        symbolic = true;
+      }
+    }
+  }
+
+  // k = 1..M selects the step factor, matching the cyclic system indexing.
+  void solveInPlace(size_t k, std::span<Cplx> b) const {
+    if (sparse_) lus_[k - 1].solveInPlace(b);
+    else dense_[k - 1].solveInPlace(b);
+  }
+  void solveManyInPlace(size_t k, std::span<Cplx> b, size_t nrhs) const {
+    if (sparse_) lus_[k - 1].solveManyInPlace(b, nrhs);
+    else dense_[k - 1].solveManyInPlace(b, nrhs);
+  }
+  void solveTransposedInPlace(size_t k, std::span<Cplx> b) const {
+    if (sparse_) lus_[k - 1].solveTransposedInPlace(b);
+    else dense_[k - 1].solveTransposedInPlace(b);
+  }
+  void solveTransposedManyInPlace(size_t k, std::span<Cplx> b,
+                                  size_t nrhs) const {
+    if (sparse_) {
+      lus_[k - 1].solveTransposedManyInPlace(b, nrhs);
+    } else {
+      const size_t n = dense_[k - 1].size();
+      for (size_t r = 0; r < nrhs; ++r) {
+        dense_[k - 1].solveTransposedInPlace(b.subspan(r * n, n));
+      }
+    }
+  }
+
+ private:
+  bool sparse_ = false;
+  std::vector<DenseLU<Cplx>> dense_;
+  std::vector<SparseLU<Cplx>> lus_;
+};
 
 /// Cyclic-closure solver with the oscillator phase-mode correction.
 ///
@@ -118,7 +252,9 @@ Cplx LptvSolution::harmonic(size_t sourceIdx, int outIndex, int n) const {
 LptvSolver::LptvSolver(const MnaSystem& sys, const PssResult& pss)
     : sys_(&sys), pss_(&pss) {
   PSMN_CHECK(pss.stepCount() > 0, "empty PSS result");
-  PSMN_CHECK(pss.gMats.size() == pss.times.size(),
+  const size_t stored = pss.sparseLinearizations ? pss.gSpMats.size()
+                                                 : pss.gMats.size();
+  PSMN_CHECK(stored == pss.times.size(),
              "PSS result lacks stored linearizations");
 }
 
@@ -160,44 +296,33 @@ LptvSolution LptvSolver::solveDirect(std::span<const InjectionSource> sources,
   std::vector<std::vector<CplxVector>> b(ns);
   for (size_t s = 0; s < ns; ++s) b[s] = sourceEnvelope(sources[s], offsetFreq);
 
+  // Step-matrix factor cache K_k, k = 1..M (dense LU or pattern-sharing
+  // sparse LU depending on how the PSS stored its linearizations).
+  const StepFactors lus(*pss_, invH, jw);
+
   // Pass 1: propagate homogeneous (B) and particular (alpha) parts.
   //   alpha_k = K_k^{-1}(D_k alpha_{k-1} + b_k),  B_k = K_k^{-1} D_k B_{k-1}.
-  // Cache the factored K_k for the second pass.
-  std::vector<DenseLU<Cplx>> lus;
-  lus.reserve(m);
   CplxMatrix bMat = CplxMatrix::identity(n);
   std::vector<CplxVector> alpha(ns, CplxVector(n, Cplx{}));
+  CplxVector dv(n), col(n);
+  CplxVector colBuf(n * n);  // column-major block for the batched B update
   for (size_t k = 1; k <= m; ++k) {
-    const CplxMatrix kk = stepMatrix(pss_->gMats[k], pss_->cMats[k], invH, jw);
-    lus.emplace_back(kk);
-    const DenseLU<Cplx>& lu = lus.back();
-    // D_k = C_{k-1}/h (real), applied to complex vectors/matrices.
-    const RealMatrix& cPrev = pss_->cMats[k - 1];
-    auto applyD = [&](const CplxVector& v) {
-      CplxVector out(n, Cplx{});
-      for (size_t i = 0; i < n; ++i) {
-        Cplx acc{};
-        const auto row = cPrev.row(i);
-        for (size_t j = 0; j < n; ++j) acc += row[j] * v[j];
-        out[i] = acc * invH;
-      }
-      return out;
-    };
     for (size_t s = 0; s < ns; ++s) {
-      CplxVector rhs = applyD(alpha[s]);
-      for (size_t i = 0; i < n; ++i) rhs[i] += b[s][k][i];
-      alpha[s] = lu.solve(rhs);
+      applyD(*pss_, k, alpha[s], dv, invH);
+      for (size_t i = 0; i < n; ++i) dv[i] += b[s][k][i];
+      lus.solveInPlace(k, dv);
+      alpha[s].assign(dv.begin(), dv.end());
     }
-    // B update, column by column.
-    CplxMatrix newB(n, n);
-    CplxVector col(n);
+    // B update: all n columns in one batched substitution.
     for (size_t j = 0; j < n; ++j) {
       for (size_t i = 0; i < n; ++i) col[i] = bMat(i, j);
-      CplxVector dcol = applyD(col);
-      lu.solveInPlace(dcol);
-      for (size_t i = 0; i < n; ++i) newB(i, j) = dcol[i];
+      applyD(*pss_, k, col, dv, invH);
+      std::copy(dv.begin(), dv.end(), colBuf.begin() + j * n);
     }
-    bMat = std::move(newB);
+    lus.solveManyInPlace(k, colBuf, n);
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t i = 0; i < n; ++i) bMat(i, j) = colBuf[j * n + i];
+    }
   }
 
   // Cyclic closure: (I - B_M) p_0 = alpha_M, with the phase-mode spectral
@@ -216,16 +341,10 @@ LptvSolution LptvSolver::solveDirect(std::span<const InjectionSource> sources,
     env[0] = p0;
     CplxVector p = std::move(p0);
     for (size_t k = 1; k < m; ++k) {
-      const RealMatrix& cPrev = pss_->cMats[k - 1];
-      CplxVector rhs(n, Cplx{});
-      for (size_t i = 0; i < n; ++i) {
-        Cplx acc{};
-        const auto row = cPrev.row(i);
-        for (size_t j = 0; j < n; ++j) acc += row[j] * p[j];
-        rhs[i] = acc * invH + b[s][k][i];
-      }
-      lus[k - 1].solveInPlace(rhs);
-      p = std::move(rhs);
+      applyD(*pss_, k, p, dv, invH);
+      for (size_t i = 0; i < n; ++i) dv[i] += b[s][k][i];
+      lus.solveInPlace(k, dv);
+      p.assign(dv.begin(), dv.end());
       env[k] = p;
     }
     sol.envelopes[s] = std::move(env);
@@ -256,58 +375,63 @@ CplxVector LptvSolver::solveAdjoint(std::span<const InjectionSource> sources,
   //   K_k^T l_k - D_{k+1}^T l_{k+1} = w_k e_out   (k = 1..M-1)
   //   K_M^T l_M - D_1^T   l_1       = w_0 e_out
   // Parametrize l_k = u_k + V_k l_1 downward from k = M.
-  std::vector<DenseLU<Cplx>> lus;  // K_k factor, k=1..M (index k-1)
-  lus.reserve(m);
-  for (size_t k = 1; k <= m; ++k) {
-    lus.emplace_back(stepMatrix(pss_->gMats[k], pss_->cMats[k], invH, jw));
-  }
-
-  auto applyDT = [&](size_t k, const CplxVector& v) {
-    // D_k^T v with D_k = C_{k-1}/h.
-    const RealMatrix& cPrev = pss_->cMats[k - 1];
-    CplxVector out(n, Cplx{});
-    for (size_t i = 0; i < n; ++i) {
-      const Cplx vi = v[i];
-      if (vi == Cplx{}) continue;
-      const auto row = cPrev.row(i);
-      for (size_t j = 0; j < n; ++j) out[j] += row[j] * vi;
-    }
-    for (auto& o : out) o *= invH;
-    return out;
-  };
+  const StepFactors lus(*pss_, invH, jw);
 
   // u_k and V_k, stored for k=1..M.
   std::vector<CplxVector> u(m + 1, CplxVector(n, Cplx{}));
   std::vector<CplxMatrix> vMat(m + 1);
+  CplxVector tmp(n), col(n);
+  CplxVector colBuf(n * n);
   // k = M:
   {
     CplxVector rhs(n, Cplx{});
     rhs[outIndex] = weight(0);  // w_0 attaches to p_M
-    u[m] = lus[m - 1].solveTransposed(rhs);
-    // V_M = K_M^{-T} D_1^T.
+    lus.solveTransposedInPlace(m, rhs);
+    u[m] = std::move(rhs);
+    // V_M = K_M^{-T} D_1^T. Column j of D_1^T is row j of D_1 = C_0/h;
+    // the sparse storage fills the whole column-major block in one CSC
+    // sweep: entry C_0(r, c) lands at block position (row c, column r).
+    std::fill(colBuf.begin(), colBuf.end(), Cplx{});
+    if (pss_->sparseLinearizations) {
+      const RealSparse& c0 = pss_->cSpMats[0];
+      const auto ptr = c0.colPointers();
+      const auto idx = c0.rowIndices();
+      const auto val = c0.values();
+      for (size_t cc = 0; cc < n; ++cc) {
+        for (int p = ptr[cc]; p < ptr[cc + 1]; ++p) {
+          colBuf[static_cast<size_t>(idx[p]) * n + cc] = val[p] * invH;
+        }
+      }
+    } else {
+      for (size_t j = 0; j < n; ++j) {
+        for (size_t i = 0; i < n; ++i) {
+          colBuf[j * n + i] = pss_->cMats[0](j, i) * invH;
+        }
+      }
+    }
+    lus.solveTransposedManyInPlace(m, colBuf, n);
     CplxMatrix vm(n, n);
-    CplxVector col(n);
     for (size_t j = 0; j < n; ++j) {
-      // column j of D_1^T is row j of D_1 = C_0/h.
-      for (size_t i = 0; i < n; ++i) col[i] = pss_->cMats[0](j, i) * invH;
-      lus[m - 1].solveTransposedInPlace(col);
-      for (size_t i = 0; i < n; ++i) vm(i, j) = col[i];
+      for (size_t i = 0; i < n; ++i) vm(i, j) = colBuf[j * n + i];
     }
     vMat[m] = std::move(vm);
   }
   for (size_t k = m - 1; k >= 1; --k) {
     // l_k = K_k^{-T}(w_k e_out + D_{k+1}^T (u_{k+1} + V_{k+1} l_1)).
-    CplxVector rhs = applyDT(k + 1, u[k + 1]);
-    rhs[outIndex] += weight(k);
-    u[k] = lus[k - 1].solveTransposed(rhs);
-    // V_k = K_k^{-T} D_{k+1}^T V_{k+1}.
-    CplxMatrix vk(n, n);
-    CplxVector col(n);
+    applyDT(*pss_, k + 1, u[k + 1], tmp, invH);
+    tmp[outIndex] += weight(k);
+    lus.solveTransposedInPlace(k, tmp);
+    u[k].assign(tmp.begin(), tmp.end());
+    // V_k = K_k^{-T} D_{k+1}^T V_{k+1}, batched over all n columns.
     for (size_t j = 0; j < n; ++j) {
       for (size_t i = 0; i < n; ++i) col[i] = vMat[k + 1](i, j);
-      CplxVector dcol = applyDT(k + 1, col);
-      lus[k - 1].solveTransposedInPlace(dcol);
-      for (size_t i = 0; i < n; ++i) vk(i, j) = dcol[i];
+      applyDT(*pss_, k + 1, col, tmp, invH);
+      std::copy(tmp.begin(), tmp.end(), colBuf.begin() + j * n);
+    }
+    lus.solveTransposedManyInPlace(k, colBuf, n);
+    CplxMatrix vk(n, n);
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t i = 0; i < n; ++i) vk(i, j) = colBuf[j * n + i];
     }
     vMat[k] = std::move(vk);
   }

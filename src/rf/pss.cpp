@@ -18,114 +18,167 @@ Real maxAbsVec(std::span<const Real> v) {
   return m;
 }
 
+/// Maps the PSS Newton controls onto the transient stepping kernel. The
+/// period integration is plain fixed-step backward Euler, so the kernel's
+/// accepted-step linearization (factored J = G + C/h, plus C) is exactly
+/// the per-step companion Jacobian the monodromy product needs.
+TranOptions stepOptions(const PssOptions& opt) {
+  TranOptions t;
+  t.method = IntegrationMethod::kBackwardEuler;
+  t.maxNewton = opt.maxNewton;
+  t.residualTol = opt.newtonResidualTol;
+  t.updateTol = opt.newtonUpdateTol;
+  t.maxStep = opt.newtonMaxStep;
+  t.gshunt = opt.gshunt;
+  t.solver = opt.solver;
+  t.sparseThreshold = opt.sparseThreshold;
+  return t;
+}
+
 struct PeriodIntegration {
   RealVector xEnd;
-  std::vector<RealVector> states;   // 0..M
-  std::vector<RealMatrix> gMats;    // 0..M
-  std::vector<RealMatrix> cMats;    // 0..M
-  RealMatrix monodromy;             // only when wanted
+  std::vector<RealVector> states;     // 0..M
+  std::vector<RealMatrix> gMats;      // 0..M (dense backend)
+  std::vector<RealMatrix> cMats;
+  std::vector<RealSparse> gSpMats;    // 0..M (sparse backend)
+  std::vector<RealSparse> cSpMats;
+  RealMatrix monodromy;               // only when wanted
   size_t newtonIterations = 0;
 };
 
-/// Integrates one period [t0, t0+T] with M backward-Euler steps from x0.
-/// Optionally accumulates the monodromy matrix and stores the trajectory
-/// with its linearizations.
+/// Propagates the monodromy through one accepted step:
+///   Phi <- J_k^{-1} (C_{k-1}/h) Phi
+/// against the factorization the Newton kernel just produced (no extra
+/// evaluation or factorization). The sparse backend assembles the n-column
+/// right-hand-side block with one CSC sweep of C_{k-1} and solves all
+/// columns in a single batched substitution.
+void propagateMonodromy(PssWorkspace& pw, RealMatrix& phi, Real h) {
+  const size_t n = phi.rows();
+  const TransientWorkspace& ws = pw.tran;
+  if (ws.sparse) {
+    pw.rhsBuf.resize(n * n);
+    std::fill(pw.rhsBuf.begin(), pw.rhsBuf.end(), 0.0);
+    const auto ptr = pw.cPrevSparse.colPointers();
+    const auto idx = pw.cPrevSparse.rowIndices();
+    const auto val = pw.cPrevSparse.values();
+    for (size_t col = 0; col < n; ++col) {
+      // rhs(r, j) += C(r, col)/h * Phi(col, j): Phi row `col` is contiguous
+      // (row-major); the destination walks column-major with stride n.
+      const Real* src = phi.data() + col * n;
+      for (int p = ptr[col]; p < ptr[col + 1]; ++p) {
+        const Real v = val[p] / h;
+        if (v == 0.0) continue;
+        Real* dst = pw.rhsBuf.data() + idx[p];
+        for (size_t j = 0; j < n; ++j) dst[j * n] += v * src[j];
+      }
+    }
+    ws.slu.solveManyInPlace(pw.rhsBuf, n);
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t i = 0; i < n; ++i) phi(i, j) = pw.rhsBuf[j * n + i];
+    }
+  } else {
+    RealMatrix rhs = matmul(pw.cPrevDense, phi);
+    rhs *= 1.0 / h;
+    phi = ws.dlu.solveMatrix(rhs);
+  }
+}
+
+/// Integrates one period from x0, optionally accumulating the monodromy
+/// matrix and storing the trajectory with its linearizations (in the
+/// workspace's backend). All solver state lives in `pw` and is reused
+/// across calls — shooting iterations share one symbolic factorization.
 PeriodIntegration integratePeriod(const MnaSystem& sys, const RealVector& x0,
                                   Real t0, Real period, int steps,
                                   const PssOptions& opt, bool wantMonodromy,
-                                  bool wantTrajectory) {
+                                  bool wantTrajectory, PssWorkspace& pw) {
+  PeriodIntegration out;
+  out.xEnd = x0;
+  if (!wantMonodromy && !wantTrajectory) {
+    integratePeriodInPlace(sys, out.xEnd, t0, period, steps, opt, pw,
+                           &out.newtonIterations);
+    return out;
+  }
+
   const size_t n = sys.size();
   const Real h = period / steps;
-  PeriodIntegration out;
-
+  const TranOptions topt = stepOptions(opt);
+  TransientWorkspace& ws = pw.tran;
+  ws.chooseBackend(n, topt);
   MnaSystem::EvalOptions eopt;
   eopt.gshunt = opt.gshunt;
 
-  RealVector x = x0;
-  RealVector f, q, qPrev;
-  RealMatrix g, c, cPrev;
-  sys.evalDense(x, t0, nullptr, &qPrev, &g, &cPrev, eopt);
-  if (wantTrajectory) {
-    out.states.push_back(x);
-    out.gMats.push_back(g);
-    out.cMats.push_back(cPrev);
+  // Initial linearization at (x0, t0): C_0 seeds the first monodromy
+  // factor, G_0/C_0 the stored trajectory.
+  RealVector& x = out.xEnd;
+  pw.q.resize(n);
+  if (ws.sparse) {
+    sys.evalSparse(x, t0, nullptr, &pw.q, &ws.gsp, &ws.csp, eopt);
+    if (wantMonodromy) pw.cPrevSparse = ws.csp;
+    if (wantTrajectory) {
+      out.gSpMats.push_back(ws.gsp);
+      out.cSpMats.push_back(ws.csp);
+    }
+  } else {
+    sys.evalDense(x, t0, nullptr, &pw.q, &ws.j, &ws.c, eopt);
+    if (wantMonodromy) pw.cPrevDense = ws.c;
+    if (wantTrajectory) {
+      out.gMats.push_back(ws.j);  // ws.j holds plain G here (no a*C added)
+      out.cMats.push_back(ws.c);
+    }
   }
+  if (wantTrajectory) out.states.push_back(x);
   if (wantMonodromy) out.monodromy = RealMatrix::identity(n);
+  pw.qd.assign(n, 0.0);
 
   for (int k = 1; k <= steps; ++k) {
-    const Real t = t0 + h * k;
-    // Backward-Euler Newton: R = f(x1,t) + (q(x1) - qPrev)/h.
-    bool converged = false;
-    for (int iter = 0; iter < opt.maxNewton; ++iter) {
-      sys.evalDense(x, t, &f, &q, &g, &c, eopt);
-      RealVector r(n);
-      for (size_t i = 0; i < n; ++i) r[i] = f[i] + (q[i] - qPrev[i]) / h;
-      const Real resNorm = maxAbsVec(r);
-      // J = G + C/h.
-      for (size_t i = 0; i < n; ++i) {
-        auto grow = g.row(i);
-        const auto crow = c.row(i);
-        for (size_t j = 0; j < n; ++j) grow[j] += crow[j] / h;
-      }
-      DenseLU<Real> lu(g);
-      for (Real& v : r) v = -v;
-      const RealVector dx = lu.solve(r);
-      const Real stepNorm = maxAbsVec(dx);
-      Real scale = 1.0;
-      if (stepNorm > opt.newtonMaxStep) scale = opt.newtonMaxStep / stepNorm;
-      for (size_t i = 0; i < n; ++i) x[i] += scale * dx[i];
-      ++out.newtonIterations;
-      if (resNorm < opt.newtonResidualTol &&
-          stepNorm * scale < opt.newtonUpdateTol) {
-        converged = true;
-        break;
-      }
-    }
-    if (!converged) {
+    if (!integrateStep(sys, IntegrationMethod::kBackwardEuler, true,
+                       t0 + h * (k - 1), h, x, pw.q, pw.qd, nullptr, topt, ws,
+                       &out.newtonIterations)) {
       throw ConvergenceError("PSS inner Newton failed at step " +
                              std::to_string(k));
     }
-    // Linearization at the accepted point.
-    sys.evalDense(x, t, nullptr, &q, &g, &c, eopt);
-    if (wantMonodromy || wantTrajectory) {
-      RealMatrix j = g;
-      for (size_t i = 0; i < n; ++i) {
-        auto jr = j.row(i);
-        const auto cr = c.row(i);
-        for (size_t jj = 0; jj < n; ++jj) jr[jj] += cr[jj] / h;
-      }
-      if (wantMonodromy) {
-        // Phi <- J^{-1} (C_{k-1}/h) Phi.
-        DenseLU<Real> lu(j);
-        RealMatrix rhs = matmul(cPrev, out.monodromy);
-        rhs *= 1.0 / h;
-        out.monodromy = lu.solveMatrix(rhs);
-      }
+    if (wantMonodromy) {
+      propagateMonodromy(pw, out.monodromy, h);
+      if (ws.sparse) pw.cPrevSparse = ws.csp;
+      else pw.cPrevDense = ws.c;
     }
     if (wantTrajectory) {
       out.states.push_back(x);
-      out.gMats.push_back(g);
-      out.cMats.push_back(c);
+      if (ws.sparse) {
+        out.gSpMats.push_back(ws.gsp);
+        out.cSpMats.push_back(ws.csp);
+      } else {
+        // Recover G = J - a*C from the accepted-step workspace (the kernel
+        // assembled J = G + a*C in place over G).
+        RealMatrix g = ws.j;
+        for (size_t i = 0; i < n; ++i) {
+          auto gr = g.row(i);
+          const auto cr = ws.c.row(i);
+          for (size_t jj = 0; jj < n; ++jj) gr[jj] -= ws.acceptedA * cr[jj];
+        }
+        out.gMats.push_back(std::move(g));
+        out.cMats.push_back(ws.c);
+      }
     }
-    qPrev = q;
-    cPrev = c;
   }
-  out.xEnd = std::move(x);
   return out;
 }
 
 PssResult packResult(const MnaSystem& sys, const RealVector& x0, Real t0,
                      Real period, int steps, const PssOptions& opt,
-                     int shootIters, size_t newtonIters) {
+                     int shootIters, size_t newtonIters, PssWorkspace& pw) {
   PeriodIntegration fin = integratePeriod(sys, x0, t0, period, steps, opt,
                                           /*wantMonodromy=*/true,
-                                          /*wantTrajectory=*/true);
+                                          /*wantTrajectory=*/true, pw);
   PssResult res;
   res.period = period;
   res.t0 = t0;
   res.states = std::move(fin.states);
+  res.sparseLinearizations = pw.tran.sparse;
   res.gMats = std::move(fin.gMats);
   res.cMats = std::move(fin.cMats);
+  res.gSpMats = std::move(fin.gSpMats);
+  res.cSpMats = std::move(fin.cSpMats);
   res.monodromy = std::move(fin.monodromy);
   res.shootingIterations = shootIters;
   res.newtonIterations = newtonIters + fin.newtonIterations;
@@ -136,6 +189,31 @@ PssResult packResult(const MnaSystem& sys, const RealVector& x0, Real t0,
 }
 
 }  // namespace
+
+void integratePeriodInPlace(const MnaSystem& sys, RealVector& x, Real t0,
+                            Real period, int steps, const PssOptions& opt,
+                            PssWorkspace& pw, size_t* newtonCount) {
+  const size_t n = sys.size();
+  const Real h = period / steps;
+  const TranOptions topt = stepOptions(opt);
+  pw.tran.chooseBackend(n, topt);
+  // Charge at the starting point (vector outputs only; the stepping kernel
+  // owns the matrix evaluations).
+  pw.q.resize(n);
+  MnaSystem::EvalOptions eopt;
+  eopt.gshunt = opt.gshunt;
+  sys.evalDense(x, t0, nullptr, &pw.q, nullptr, nullptr, eopt);
+  pw.qd.resize(n);
+  std::fill(pw.qd.begin(), pw.qd.end(), 0.0);
+  for (int k = 1; k <= steps; ++k) {
+    if (!integrateStep(sys, IntegrationMethod::kBackwardEuler, true,
+                       t0 + h * (k - 1), h, x, pw.q, pw.qd, nullptr, topt,
+                       pw.tran, newtonCount)) {
+      throw ConvergenceError("PSS inner Newton failed at step " +
+                             std::to_string(k));
+    }
+  }
+}
 
 RealVector PssResult::waveform(int mnaIndex) const {
   PSMN_CHECK(mnaIndex >= 0, "waveform of ground requested");
@@ -155,7 +233,10 @@ Real PssResult::fundamentalAmplitude(int mnaIndex) const {
 }
 
 RealVector pssWarmup(const MnaSystem& sys, Real period, int cycles,
-                     const PssOptions& opt, const RealVector* x0) {
+                     const PssOptions& opt, const RealVector* x0,
+                     PssWorkspace* ws) {
+  PssWorkspace local;
+  PssWorkspace& pw = ws ? *ws : local;
   RealVector x;
   if (x0) {
     x = *x0;
@@ -163,13 +244,13 @@ RealVector pssWarmup(const MnaSystem& sys, Real period, int cycles,
     DcOptions dopt;
     dopt.time = 0.0;
     dopt.gshunt = opt.gshunt;
+    dopt.solver = opt.solver;
+    dopt.sparseThreshold = opt.sparseThreshold;
     x = solveDc(sys, dopt).x;
   }
   for (int cyc = 0; cyc < cycles; ++cyc) {
-    PeriodIntegration pi =
-        integratePeriod(sys, x, cyc * period, period, opt.stepsPerPeriod, opt,
-                        false, false);
-    x = std::move(pi.xEnd);
+    integratePeriodInPlace(sys, x, cyc * period, period, opt.stepsPerPeriod,
+                           opt, pw);
   }
   return x;
 }
@@ -178,27 +259,44 @@ PssResult solvePssDriven(const MnaSystem& sys, Real period,
                          const PssOptions& opt, const RealVector* x0guess) {
   PSMN_CHECK(period > 0.0, "period must be positive");
   const size_t n = sys.size();
-  RealVector x0 = x0guess ? *x0guess
-                          : pssWarmup(sys, period, opt.warmupCycles, opt);
+  PssWorkspace pw;
+  RealVector x0 = x0guess
+                      ? *x0guess
+                      : pssWarmup(sys, period, opt.warmupCycles, opt, nullptr,
+                                  &pw);
   PSMN_CHECK(x0.size() == n, "bad initial guess size");
 
   size_t newtonTotal = 0;
+  RealVector prevX0;
+  bool haveUpdate = false;
   for (int iter = 0; iter < opt.maxShootingIterations; ++iter) {
-    PeriodIntegration pi = integratePeriod(
-        sys, x0, 0.0, period, opt.stepsPerPeriod, opt, true, false);
+    PeriodIntegration pi;
+    try {
+      pi = integratePeriod(sys, x0, 0.0, period, opt.stepsPerPeriod, opt,
+                           true, false, pw);
+    } catch (const ConvergenceError&) {
+      // The last shooting update overshot into a region where the period
+      // integration itself cannot converge; backtrack halfway and spend a
+      // shooting iteration on the retry.
+      if (!haveUpdate) throw;
+      for (size_t i = 0; i < n; ++i) x0[i] = 0.5 * (x0[i] + prevX0[i]);
+      continue;
+    }
     newtonTotal += pi.newtonIterations;
     RealVector r(n);
     for (size_t i = 0; i < n; ++i) r[i] = pi.xEnd[i] - x0[i];
     const Real rNorm = maxAbsVec(r);
     if (rNorm < opt.shootingTol) {
       return packResult(sys, x0, 0.0, period, opt.stepsPerPeriod, opt,
-                        iter + 1, newtonTotal);
+                        iter + 1, newtonTotal, pw);
     }
     // Newton: dx0 = (I - Phi)^{-1} r.
     RealMatrix iMinusPhi = RealMatrix::identity(n);
     iMinusPhi -= pi.monodromy;
     DenseLU<Real> lu(iMinusPhi);
     const RealVector dx0 = lu.solve(r);
+    prevX0 = x0;
+    haveUpdate = true;
     for (size_t i = 0; i < n; ++i) x0[i] += opt.relax * dx0[i];
   }
   throw ConvergenceError("driven PSS shooting did not converge");
@@ -213,15 +311,27 @@ PssResult solvePssAutonomous(const MnaSystem& sys, Real periodGuess,
              "bad phase index");
   PSMN_CHECK(x0guess.size() == n, "bad initial guess size");
 
+  PssWorkspace pw;
   RealVector x0 = x0guess;
   Real period = periodGuess;
   const Real phaseLevel = x0[phaseIndex];
 
   size_t newtonTotal = 0;
+  RealVector prevX0;
+  Real prevPeriod = period;
+  bool haveUpdate = false;
   for (int iter = 0; iter < opt.maxShootingIterations; ++iter) {
-    PeriodIntegration pi = integratePeriod(sys, x0, 0.0, period,
-                                           opt.stepsPerPeriod, opt, true,
-                                           false);
+    PeriodIntegration pi;
+    try {
+      pi = integratePeriod(sys, x0, 0.0, period, opt.stepsPerPeriod, opt,
+                           true, false, pw);
+    } catch (const ConvergenceError&) {
+      // Backtrack the last bordered update (see solvePssDriven).
+      if (!haveUpdate) throw;
+      for (size_t i = 0; i < n; ++i) x0[i] = 0.5 * (x0[i] + prevX0[i]);
+      period = 0.5 * (period + prevPeriod);
+      continue;
+    }
     newtonTotal += pi.newtonIterations;
     RealVector r(n);
     for (size_t i = 0; i < n; ++i) r[i] = pi.xEnd[i] - x0[i];
@@ -229,14 +339,14 @@ PssResult solvePssAutonomous(const MnaSystem& sys, Real periodGuess,
     const Real phaseRes = x0[phaseIndex] - phaseLevel;
     if (rNorm < opt.shootingTol && std::fabs(phaseRes) < opt.shootingTol) {
       PssResult res = packResult(sys, x0, 0.0, period, opt.stepsPerPeriod,
-                                 opt, iter + 1, newtonTotal);
+                                 opt, iter + 1, newtonTotal, pw);
       res.autonomous = true;
       res.phaseIndex = phaseIndex;
       // d x(T)/dT at the solution, for the adjoint period sensitivity.
       const Real dT = 1e-4 * period;
       PeriodIntegration piT = integratePeriod(sys, x0, 0.0, period + dT,
                                               opt.stepsPerPeriod, opt, false,
-                                              false);
+                                              false, pw);
       res.dxdT.resize(n);
       for (size_t i = 0; i < n; ++i) {
         res.dxdT[i] = (piT.xEnd[i] - pi.xEnd[i]) / dT;
@@ -249,9 +359,19 @@ PssResult solvePssAutonomous(const MnaSystem& sys, Real periodGuess,
     // the bordered Jacobian clean (1e-7*T made shooting limp to the
     // iteration cap).
     const Real dT = 1e-4 * period;
-    PeriodIntegration piT = integratePeriod(sys, x0, 0.0, period + dT,
-                                            opt.stepsPerPeriod, opt, false,
-                                            false);
+    PeriodIntegration piT;
+    try {
+      piT = integratePeriod(sys, x0, 0.0, period + dT, opt.stepsPerPeriod,
+                            opt, false, false, pw);
+    } catch (const ConvergenceError&) {
+      // The base integration converged but the dT-perturbed one did not:
+      // the iterate sits on the edge of the integrable region. Backtrack
+      // like a failed base integration instead of aborting the solve.
+      if (!haveUpdate) throw;
+      for (size_t i = 0; i < n; ++i) x0[i] = 0.5 * (x0[i] + prevX0[i]);
+      period = 0.5 * (period + prevPeriod);
+      continue;
+    }
     newtonTotal += piT.newtonIterations;
     RealVector dxdT(n);
     for (size_t i = 0; i < n; ++i) dxdT[i] = (piT.xEnd[i] - pi.xEnd[i]) / dT;
@@ -271,8 +391,20 @@ PssResult solvePssAutonomous(const MnaSystem& sys, Real periodGuess,
     rhs[n] = -phaseRes;
     DenseLU<Real> lu(a);
     const RealVector upd = lu.solve(rhs);
+    prevX0 = x0;
+    prevPeriod = period;
+    haveUpdate = true;
     for (size_t i = 0; i < n; ++i) x0[i] += opt.relax * upd[i];
-    period += opt.relax * upd[n];
+    // Trust region on the period update (the analog of the inner Newton's
+    // dx clamp): far from the orbit the bordered Jacobian can demand a
+    // huge dT — on multi-wave ring modes it once drove the period negative
+    // or let shooting "converge" onto the DC equilibrium with a
+    // seconds-long period. Capping |dT| keeps the iteration inside the
+    // basin while leaving converged results untouched.
+    Real dPeriod = opt.relax * upd[n];
+    const Real maxDT = opt.periodMaxRelStep * period;
+    if (std::fabs(dPeriod) > maxDT) dPeriod = std::copysign(maxDT, dPeriod);
+    period += dPeriod;
     PSMN_CHECK(period > 0.0, "autonomous shooting drove the period negative");
   }
   throw ConvergenceError("autonomous PSS shooting did not converge");

@@ -32,7 +32,33 @@ struct PssOptions {
   Real newtonResidualTol = 1e-10;
   Real newtonUpdateTol = 1e-10;
   Real newtonMaxStep = 0.5;  // dx clamp (V)
+  /// Autonomous shooting only: per-iteration trust region on the period
+  /// update, as a fraction of the current period (the dT analog of
+  /// newtonMaxStep; keeps far-off starts from running away).
+  Real periodMaxRelStep = 0.1;
   bool quiet = true;
+  /// Linear-solver backend for the period integration, the warmup DC solve,
+  /// and the monodromy propagation; kAuto switches to sparse at
+  /// sparseThreshold unknowns (same crossover as the transient engine).
+  LinearSolverKind solver = LinearSolverKind::kAuto;
+  size_t sparseThreshold = kSparseSolverThreshold;
+};
+
+/// Reusable solver state for the shooting engines: the transient workspace
+/// (cached sparsity pattern, symbolic factorization, Newton scratch) plus
+/// the charge state and monodromy-propagation buffers. One PssWorkspace is
+/// shared across every period integration of a shooting solve — warmup
+/// cycles, shooting iterations, and the finite-difference period
+/// derivative all reuse the same symbolic factorization. Tied to one
+/// MnaSystem, like TransientWorkspace.
+struct PssWorkspace {
+  TransientWorkspace tran;
+  RealVector q, qd;        // charge state for the BE stepping kernel
+  // Monodromy propagation scratch (sparse backend): n*n column-major
+  // right-hand-side block for the batched accepted-step solve.
+  RealVector rhsBuf;
+  RealMatrix cPrevDense;   // C at the previous grid point
+  RealSparse cPrevSparse;
 };
 
 struct PssResult {
@@ -49,9 +75,15 @@ struct PssResult {
   /// to shooting tolerance.
   std::vector<Real> times;
   std::vector<RealVector> states;
-  /// Linearization along the orbit: gMats[k], cMats[k] at times[k], k=0..M.
+  /// Linearization along the orbit at times[k], k=0..M, in ONE of two
+  /// backends: dense gMats/cMats, or (sparseLinearizations) cached-pattern
+  /// gSpMats/cSpMats from the sparse workspace. The LPTV and PPV solvers
+  /// consume whichever is present.
+  bool sparseLinearizations = false;
   std::vector<RealMatrix> gMats;
   std::vector<RealMatrix> cMats;
+  std::vector<RealSparse> gSpMats;
+  std::vector<RealSparse> cSpMats;
   RealMatrix monodromy;
   int shootingIterations = 0;
   size_t newtonIterations = 0;  // total inner iterations (cost reporting)
@@ -82,9 +114,20 @@ PssResult solvePssAutonomous(const MnaSystem& sys, Real periodGuess,
                              const PssOptions& opt = {});
 
 /// Utility: runs an `initCycles`-long transient at fixed step and returns
-/// the final state (the standard way to seed shooting).
+/// the final state (the standard way to seed shooting). `ws` (optional)
+/// shares the solver workspace with a subsequent shooting solve.
 RealVector pssWarmup(const MnaSystem& sys, Real period, int cycles,
-                     const PssOptions& opt, const RealVector* x0 = nullptr);
+                     const PssOptions& opt, const RealVector* x0 = nullptr,
+                     PssWorkspace* ws = nullptr);
+
+/// Integrates one period [t0, t0+T] with `steps` backward-Euler steps,
+/// advancing `x` in place — the inner kernel of the shooting engines,
+/// exposed for reuse and for the allocation tests: once the workspace is
+/// warm (pattern cached, symbolic factorization kept, buffers sized) a
+/// call performs no heap allocation.
+void integratePeriodInPlace(const MnaSystem& sys, RealVector& x, Real t0,
+                            Real period, int steps, const PssOptions& opt,
+                            PssWorkspace& ws, size_t* newtonCount = nullptr);
 
 /// Kicks a ring oscillator from its (metastable) DC point, free-runs it to
 /// the limit cycle with backward Euler, and returns the warm state plus a

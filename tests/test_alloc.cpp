@@ -13,6 +13,7 @@
 #include "circuit/stdcell.hpp"
 #include "engine/dc.hpp"
 #include "engine/transient.hpp"
+#include "rf/pss.hpp"
 
 namespace {
 std::atomic<size_t> gAllocCount{0};
@@ -89,6 +90,34 @@ TEST(Allocation, SparseSteadyStateStepsAreHeapFree) {
 
 TEST(Allocation, DenseSteadyStateStepsAreHeapFree) {
   EXPECT_EQ(allocationsPerSteadyState(LinearSolverKind::kDense, 20, 100), 0u);
+}
+
+TEST(Allocation, SparsePssPeriodIntegrationIsHeapFree) {
+  // The shooting engines' inner loop: after one warm period integration
+  // (pattern cached, symbolic factorization kept, charge-state buffers
+  // sized), integrating further periods through the shared PssWorkspace
+  // must not touch the heap.
+  Netlist nl;
+  auto kit = ProcessKit::cmos130();
+  RingOscillatorOptions oopt;
+  oopt.stages = 65;  // 67 MNA unknowns: comfortably past the kAuto crossover
+  const auto osc = buildRingOscillator(nl, kit, oopt);
+  MnaSystem sys(nl);
+
+  RealVector x = solveDc(sys, {}).x;
+  for (size_t i = 0; i < osc.stages.size(); ++i) {
+    x[nl.nodeIndex(osc.stages[i])] += (i % 2 ? 0.2 : -0.2);
+  }
+
+  PssOptions opt;
+  opt.solver = LinearSolverKind::kSparse;
+  PssWorkspace ws;
+  const Real period = 1e-9;
+  const int steps = 100;
+  integratePeriodInPlace(sys, x, 0.0, period, steps, opt, ws);  // warm
+  const size_t before = gAllocCount.load();
+  integratePeriodInPlace(sys, x, period, period, steps, opt, ws);
+  EXPECT_EQ(gAllocCount.load() - before, 0u);
 }
 
 }  // namespace

@@ -285,6 +285,69 @@ TEST(SparseLu, MultiRhsSolveMatchesScatteredSolves) {
   }
 }
 
+TEST(SparseLu, TransposedSolveRecoversKnownSolution) {
+  // b = A^T x for a known x; the transposed solve (used by the adjoint
+  // LPTV and PPV sweeps) must recover x through the kept L/U pattern,
+  // including after a refactor with fresh values.
+  const size_t n = 32;
+  SparseLU<Real> lu(patternedRandom(n, 17, 0));
+  for (uint64_t salt = 0; salt <= 2; ++salt) {
+    const auto a = patternedRandom(n, 17, salt);
+    if (salt > 0) ASSERT_TRUE(lu.refactor(a));
+    RealVector xTrue(n);
+    Rng rng(300 + salt);
+    for (auto& v : xTrue) v = rng.uniform(-2.0, 2.0);
+    const RealVector b =
+        matvecT(a.toDense(), std::span<const Real>(xTrue));
+    const RealVector x = lu.solveTransposed(b);
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xTrue[i], 1e-8);
+  }
+}
+
+TEST(SparseLu, TransposedSolveComplexIsPlainTranspose) {
+  // Complex transposed solve must use A^T (not A^H), matching DenseLU.
+  const size_t n = 12;
+  const auto ar = patternedRandom(n, 23, 0);
+  CplxMatrix ac(n, n);
+  {
+    const auto d = ar.toDense();
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = 0; j < n; ++j)
+        ac(i, j) = Cplx(d(i, j), 0.1 * d(j, i));
+  }
+  const auto asp = CplxSparse::fromDense(ac);
+  SparseLU<Cplx> lu(asp);
+  Rng rng(7);
+  CplxVector xTrue(n);
+  for (auto& v : xTrue) v = Cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  const CplxVector b = matvecT(ac, std::span<const Cplx>(xTrue));
+  const CplxVector x = lu.solveTransposed(b);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_LT(std::abs(x[i] - xTrue[i]), 1e-9);
+  }
+}
+
+TEST(SparseLu, TransposedMultiRhsMatchesScatteredSolves) {
+  const size_t n = 24;
+  const size_t nrhs = 6;
+  const auto a = patternedRandom(n, 29, 0);
+  SparseLU<Real> lu(a);
+  Rng rng(123);
+  RealVector batch(n * nrhs);
+  for (auto& v : batch) v = rng.uniform(-1.0, 1.0);
+  std::vector<RealVector> singles;
+  for (size_t r = 0; r < nrhs; ++r) {
+    singles.push_back(lu.solveTransposed(
+        std::span<const Real>(batch.data() + r * n, n)));
+  }
+  lu.solveTransposedManyInPlace(batch, nrhs);
+  for (size_t r = 0; r < nrhs; ++r) {
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(batch[r * n + i], singles[r][i], 1e-12);
+    }
+  }
+}
+
 TEST(DenseLu, MultiRhsSolveMatchesScatteredSolves) {
   const size_t n = 9;
   const size_t nrhs = 4;
