@@ -1,0 +1,104 @@
+// Parallel-runtime benchmarks: scenario-sweep scaling over threads and the
+// parallel multi-RHS sensitivity columns against the serial baseline.
+//
+//   BM_SweepScaling/<scenarios>/<jobs>       — inverter-chain transient
+//       scenarios fanned across the pool.
+//   BM_SensitivityParallel/<rows>/<jobs>     — column-partitioned
+//       sensitivity recursion (jobs=1 is exactly the serial path:
+//       ThreadPool(1) spawns no threads).
+//
+// Expected shape on a multi-core box (the CI runner): near-linear sweep
+// scaling and ≥2x sensitivity speedup at 4 jobs for rows>=8. On a 1-core
+// container both flatten to ~1x; what the committed baseline then pins is
+// the runtime's *overhead* — jobs>1 must not run materially slower than
+// jobs=1. Either way the results are bit-identical across jobs (see
+// tests/test_runtime.cpp).
+#include <benchmark/benchmark.h>
+
+#include "circuit/stdcell.hpp"
+#include "engine/transient_sensitivity.hpp"
+#include "runtime/scenario_sweep.hpp"
+
+namespace psmn {
+namespace {
+
+std::unique_ptr<Netlist> makeChain(int stages, int rows, Real cLoad) {
+  auto nl = std::make_unique<Netlist>();
+  InverterChainOptions copt;
+  copt.stages = stages;
+  copt.rows = rows;
+  copt.cLoad = cLoad;
+  buildInverterChain(*nl, ProcessKit::cmos130(), copt);
+  return nl;
+}
+
+/// Transient scenarios over a load-cap corner set on an 8-stage chain.
+void BM_SweepScaling(benchmark::State& state) {
+  const auto scenarios_n = static_cast<size_t>(state.range(0));
+  const auto jobs = static_cast<size_t>(state.range(1));
+  std::vector<SweepScenario> scenarios;
+  for (size_t i = 0; i < scenarios_n; ++i) {
+    SweepScenario sc;
+    sc.name = "corner" + std::to_string(i);
+    const Real cLoad = 2e-15 * (i % 8 + 1);
+    sc.make = [cLoad] { return makeChain(8, 1, cLoad); };
+    sc.analysis = SweepAnalysis::kTransient;
+    sc.outNode = "ch8";
+    sc.t1 = 2e-9;
+    sc.dt = 10e-12;
+    sc.tran.storeStates = false;
+    scenarios.push_back(std::move(sc));
+  }
+  ThreadPool pool(jobs);
+  for (auto _ : state) {
+    const auto results = runScenarioSweep(scenarios, pool);
+    for (const auto& r : results) {
+      if (!r.ok) state.SkipWithError(r.error.c_str());
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["scenarios"] = static_cast<double>(scenarios_n);
+  state.counters["jobs"] = static_cast<double>(jobs);
+}
+BENCHMARK(BM_SweepScaling)
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Args({16, 4})
+    ->Unit(benchmark::kMillisecond);
+
+/// Column-partitioned transient sensitivity on `rows` 8-stage chains
+/// (ns = 32*rows mismatch columns, sparse backend above 40 unknowns).
+void BM_SensitivityParallel(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const auto jobs = static_cast<size_t>(state.range(1));
+  auto nl = makeChain(8, rows, 5e-15);
+  nl->finalize();
+  MnaSystem sys(*nl);
+  const auto sources = sys.collectSources(true, false);
+
+  ThreadPool pool(jobs);
+  TranOptions opt;
+  opt.method = IntegrationMethod::kBackwardEuler;
+  opt.pool = jobs > 1 ? &pool : nullptr;  // jobs=1: the plain serial path
+  for (auto _ : state) {
+    const auto res =
+        runTransientSensitivity(sys, 0.0, 1e-9, 10e-12, sources, opt);
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["unknowns"] = static_cast<double>(sys.size());
+  state.counters["sources"] = static_cast<double>(sources.size());
+  state.counters["jobs"] = static_cast<double>(jobs);
+}
+BENCHMARK(BM_SensitivityParallel)
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Args({16, 1})
+    ->Args({16, 4})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace psmn
+
+BENCHMARK_MAIN();

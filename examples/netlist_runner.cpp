@@ -4,14 +4,31 @@
 // .pss/.pnoise pair is present.
 //
 // Demonstrated cards: .op, .tran, .pss <period>, .pnoise <out-node>.
+//
+// Sweep mode fans the deck's .tran card across N mismatch scenarios on the
+// parallel runtime (each scenario re-parses the deck into a private
+// netlist, applies its seeded mismatch draw, and runs on its own slot):
+//
+//   netlist_runner deck.sp --sweep mc:64 --jobs 8 [--seed 1] [--probe out]
+//
+// Results are reported in scenario order and are bit-identical for every
+// --jobs value (per-scenario RNG streams are derived from the scenario
+// index, never from thread timing).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <memory>
+#include <sstream>
 
 #include "circuit/parser.hpp"
 #include "core/mismatch_analysis.hpp"
+#include "core/monte_carlo.hpp"
 #include "engine/dc.hpp"
 #include "engine/transient.hpp"
 #include "meas/measure.hpp"
+#include "numeric/statistics.hpp"
+#include "runtime/scenario_sweep.hpp"
 #include "util/units.hpp"
 
 using namespace psmn;
@@ -31,22 +48,142 @@ C2 out 0 4p
 .end
 )";
 
-}  // namespace
+struct RunnerArgs {
+  std::string deckPath;
+  size_t jobs = 1;        // --jobs N (0 = hardware)
+  size_t sweepSamples = 0;  // --sweep mc:N (0 = no sweep)
+  uint64_t seed = 1;      // --seed S
+  std::string probe;      // --probe <node>; default from the .pnoise card
+};
 
-int main(int argc, char** argv) {
-  ParsedCircuit pc;
-  if (argc > 1) {
-    std::ifstream in(argv[1]);
-    if (!in) {
-      std::fprintf(stderr, "cannot open '%s'\n", argv[1]);
-      return 1;
+bool parseArgs(int argc, char** argv, RunnerArgs& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (a == "--jobs") {
+      args.jobs = std::strtoul(value("--jobs"), nullptr, 10);
+    } else if (a == "--seed") {
+      args.seed = std::strtoull(value("--seed"), nullptr, 10);
+    } else if (a == "--probe") {
+      args.probe = value("--probe");
+    } else if (a == "--sweep") {
+      const std::string spec = value("--sweep");
+      if (spec.rfind("mc:", 0) != 0) {
+        std::fprintf(stderr, "--sweep expects mc:<N>, got '%s'\n",
+                     spec.c_str());
+        return false;
+      }
+      args.sweepSamples = std::strtoul(spec.c_str() + 3, nullptr, 10);
+      if (args.sweepSamples == 0) {
+        std::fprintf(stderr, "--sweep mc:<N> needs N >= 1\n");
+        return false;
+      }
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
+      return false;
+    } else {
+      args.deckPath = a;
     }
-    pc = parseNetlist(in);
-  } else {
-    pc = parseNetlistString(kDemoDeck);
-    std::printf("(no deck given; running the built-in demo)\n");
   }
-  std::printf("title: %s\n", pc.title.c_str());
+  return true;
+}
+
+int runSweep(const std::string& deckText, const ParsedCircuit& pc,
+             const RunnerArgs& args) {
+  // The main-thread parse (`pc`) supplies the analysis cards and defaults;
+  // the scenarios re-parse the text into private netlists on their slots.
+  Real dt = 0.0, tstop = 0.0;
+  std::string probe = args.probe;
+  for (const auto& card : pc.analyses) {
+    if (card.kind == "tran" && card.args.size() >= 2) {
+      const auto dtv = parseSpiceNumber(card.args[0]);
+      const auto stopv = parseSpiceNumber(card.args[1]);
+      if (!dtv || !stopv) {
+        std::fprintf(stderr, "bad .tran card: '%s %s'\n",
+                     card.args[0].c_str(), card.args[1].c_str());
+        return 1;
+      }
+      dt = *dtv;
+      tstop = *stopv;
+    } else if (card.kind == "pnoise" && !card.args.empty() && probe.empty()) {
+      probe = card.args[0];
+    }
+  }
+  if (dt <= 0.0 || tstop <= 0.0) {
+    std::fprintf(stderr, "--sweep needs a .tran card in the deck\n");
+    return 1;
+  }
+  if (probe.empty()) {
+    std::fprintf(stderr,
+                 "--sweep needs --probe <node> (or a .pnoise card)\n");
+    return 1;
+  }
+  if (!pc.netlist->findNode(probe)) {
+    std::fprintf(stderr, "probe node '%s' is not in the deck\n",
+                 probe.c_str());
+    return 1;
+  }
+
+  // One shared copy of the deck source: each scenario re-parses it into a
+  // private netlist and applies its sample draw — applyMismatchSample is
+  // the MC engine's own stream, so scenario k reproduces MC sample k.
+  const auto deck = std::make_shared<const std::string>(deckText);
+  std::vector<SweepScenario> scenarios;
+  for (size_t k = 0; k < args.sweepSamples; ++k) {
+    SweepScenario sc;
+    sc.name = "mc" + std::to_string(k);
+    sc.make = [deck, seed = args.seed, k] {
+      ParsedCircuit spc = parseNetlistString(*deck);
+      spc.netlist->finalize();
+      applyMismatchSample(spc.netlist->mismatchParams(), nullptr, seed, k);
+      return std::move(spc.netlist);
+    };
+    sc.analysis = SweepAnalysis::kTransient;
+    sc.outNode = probe;
+    sc.t1 = tstop;
+    sc.dt = dt;
+    sc.tran.storeStates = false;
+    scenarios.push_back(std::move(sc));
+  }
+
+  ThreadPool pool(args.jobs);
+  std::printf("sweep: %zu mismatch scenarios of .tran %s %s on %zu job(s), "
+              "probe v(%s), seed %llu\n",
+              scenarios.size(), formatEng(dt).c_str(),
+              formatEng(tstop).c_str(), pool.jobCount(), probe.c_str(),
+              static_cast<unsigned long long>(args.seed));
+  const auto results = runScenarioSweep(scenarios, pool);
+
+  MomentAccumulator acc;
+  size_t failures = 0;
+  const int probeIdx = pc.netlist->nodeIndex(probe);
+  for (const auto& r : results) {
+    if (!r.ok) {
+      ++failures;
+      std::printf("  %-8s FAILED: %s\n", r.name.c_str(), r.error.c_str());
+      continue;
+    }
+    const Real v = r.finalState.at(probeIdx);
+    acc.add(v);
+    std::printf("  %-8s v(%s) = %s\n", r.name.c_str(), probe.c_str(),
+                formatEng(v).c_str());
+  }
+  if (acc.count() > 0) {
+    std::printf("summary: mean = %sV, sigma = %sV over %zu scenarios "
+                "(%zu failed)\n",
+                formatEng(acc.mean()).c_str(), formatEng(acc.stddev()).c_str(),
+                static_cast<size_t>(acc.count()), failures);
+  }
+  return failures == results.size() ? 1 : 0;
+}
+
+int runCards(const ParsedCircuit& pc) {
   Netlist& nl = *pc.netlist;
   MnaSystem sys(nl);
   std::printf("%zu devices, %zu unknowns, %zu mismatch parameters\n\n",
@@ -97,4 +234,31 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunnerArgs args;
+  if (!parseArgs(argc, argv, args)) return 1;
+
+  std::string deckText;
+  if (!args.deckPath.empty()) {
+    std::ifstream in(args.deckPath);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", args.deckPath.c_str());
+      return 1;
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    deckText = os.str();
+  } else {
+    deckText = kDemoDeck;
+    std::printf("(no deck given; running the built-in demo)\n");
+  }
+
+  ParsedCircuit pc = parseNetlistString(deckText);
+  std::printf("title: %s\n", pc.title.c_str());
+  if (args.sweepSamples > 0) return runSweep(deckText, pc, args);
+  return runCards(pc);
 }

@@ -13,6 +13,14 @@ The check fails when
 exceeds ``--threshold`` (default 1.25, the ROADMAP "perf trajectory" bar)
 for any hot-path benchmark present in both files.
 
+Trend history: ``--prev PATH`` additionally diffs the current run against
+the previous CI run's artifact (downloaded by the workflow) across *all*
+benchmarks the two runs share — the per-PR trajectory, not just the
+absolute bar. The prev diff is informational (run-to-run noise on shared
+runners is well above the baseline threshold); it never fails the job, and
+a missing or unreadable prev file is reported and skipped so the first run
+on a branch still passes.
+
 Regenerate the baseline after an intentional perf change:
 
     ./build/bench_kernels --benchmark_format=json \
@@ -47,12 +55,37 @@ def load(path):
     return out
 
 
+def diff_against_previous(current, prev_path):
+    """Informational normalized diff against the previous run's artifact."""
+    try:
+        prev = load(prev_path)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"trend history: no usable previous artifact ({e}); skipping")
+        return
+    if ANCHOR not in prev or ANCHOR not in current:
+        print("trend history: anchor missing from previous run; skipping")
+        return
+    common = sorted(set(prev) & set(current))
+    if not common:
+        print("trend history: no benchmarks in common with previous run")
+        return
+    print(f"\ntrend vs previous run ({len(common)} benchmarks, normalized, "
+          "informational):")
+    for name in common:
+        ratio = (current[name] / current[ANCHOR]) / (prev[name] / prev[ANCHOR])
+        marker = "+" if ratio > 1.05 else ("-" if ratio < 0.95 else " ")
+        print(f"  {marker} {name:<44} {ratio:5.2f}x previous")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current", help="fresh bench_kernels JSON")
     ap.add_argument("baseline", help="committed baseline JSON")
     ap.add_argument("--threshold", type=float, default=1.25,
                     help="fail when normalized ratio exceeds this (1.25 = +25%%)")
+    ap.add_argument("--prev", default=None,
+                    help="previous CI run's bench JSON (informational "
+                         "per-PR trend history; missing file is skipped)")
     args = ap.parse_args()
 
     current = load(args.current)
@@ -83,6 +116,10 @@ def main():
     if checked == 0:
         print("error: no hot-path benchmarks in common", file=sys.stderr)
         return 2
+
+    if args.prev:
+        diff_against_previous(current, args.prev)
+
     if failures:
         print(f"\n{len(failures)} hot-path regression(s) past "
               f"{args.threshold:.2f}x: {', '.join(failures)}", file=sys.stderr)

@@ -22,17 +22,37 @@ struct McOptions {
   size_t samples = 1000;
   uint64_t seed = 1;
   bool keepSamples = true;  // store the full sample matrix (histograms)
+  /// Concurrent sample evaluations (0 -> hardware). Values above 1 take
+  /// effect only when a netlist factory is installed (each slot needs a
+  /// private netlist to perturb) and no correlated-mismatch model is set
+  /// (its device references are bound to the primary netlist). Because
+  /// every sample's RNG stream is derived from (seed, sampleIndex) and the
+  /// statistics are accumulated in sample order after the fan-out, results
+  /// are bit-identical for every jobs count.
+  size_t jobs = 1;
 };
 
 /// Measurement callback: the netlist already carries this sample's mismatch
 /// deltas; returns one value per measured quantity. Throwing SampleFailure
-/// skips the sample (counted separately).
+/// skips the sample (counted separately). With jobs > 1 the callback runs
+/// concurrently on different MnaSystems (one per slot), so it must not
+/// write captured state — measure through the passed-in system only.
 using McMeasure = std::function<RealVector(const MnaSystem&)>;
 
 class SampleFailure : public Error {
  public:
   explicit SampleFailure(const std::string& what) : Error(what) {}
 };
+
+/// Applies sample `k`'s mismatch draw to `params` — THE definition of the
+/// deterministic (seed, index) stream: independent parameters first in
+/// flattening order (kBetaRel truncated at -95%, the physical floor of a
+/// relative current factor), then the correlated groups. Shared by the MC
+/// engine and the netlist_runner sweep so scenario k reproduces MC
+/// sample k exactly.
+void applyMismatchSample(const std::vector<Netlist::MismatchRef>& params,
+                         const CorrelatedMismatch* corr, uint64_t seed,
+                         size_t k);
 
 struct McResult {
   std::vector<std::string> names;
@@ -50,13 +70,28 @@ struct McResult {
   RealVector column(size_t j) const;
 };
 
+/// Rebuilds the engine's circuit from scratch — the parallel path calls it
+/// once per execution slot to give every thread a private netlist. It MUST
+/// construct the same circuit as the engine's primary netlist (same devices
+/// in the same order, so the mismatch-parameter flattening lines up);
+/// the determinism tests compare jobs=1 (primary netlist) against jobs=N
+/// (factory netlists), which catches a diverging factory.
+using NetlistFactory = std::function<std::unique_ptr<Netlist>()>;
+
 class MonteCarloEngine {
  public:
   MonteCarloEngine(const MnaSystem& sys, McOptions opt = {});
 
   /// Optional correlated-mismatch model; parameters covered by it are drawn
-  /// jointly, the rest independently.
+  /// jointly, the rest independently. Forces the serial path (see
+  /// McOptions::jobs).
   void setCorrelatedMismatch(const CorrelatedMismatch* corr) { corr_ = corr; }
+
+  /// Enables the parallel path: each execution slot evaluates its samples
+  /// on a private netlist built by `factory`.
+  void setNetlistFactory(NetlistFactory factory) {
+    factory_ = std::move(factory);
+  }
 
   McResult run(std::vector<std::string> names, const McMeasure& measure);
 
@@ -64,6 +99,7 @@ class MonteCarloEngine {
   const MnaSystem* sys_;
   McOptions opt_;
   const CorrelatedMismatch* corr_ = nullptr;
+  NetlistFactory factory_;
 };
 
 }  // namespace psmn

@@ -32,6 +32,11 @@ bool newtonSolve(const MnaSystem& sys, RealVector& x, const DcOptions& opt,
       sys.evalDense(x, opt.time, &f, nullptr, &ws->g, nullptr, eopt);
     }
     const Real resNorm = maxAbsVec(f);
+    // A non-finite residual means the iterate escaped the devices' range
+    // (exp overflow on a deep logic chain rung): no amount of further
+    // iteration recovers, so report failure immediately and let the
+    // homotopy ladder backtrack instead of burning maxIterations factors.
+    if (!std::isfinite(resNorm)) return false;
 
     // Solve G dx = -f in place; the sparse branch reuses the pivot order
     // and fill pattern cached in the workspace (across iterations and,
@@ -59,6 +64,7 @@ bool newtonSolve(const MnaSystem& sys, RealVector& x, const DcOptions& opt,
 
     // Clamp the Newton step to keep exponential devices in range.
     const Real stepNorm = maxAbsVec(dx);
+    if (!std::isfinite(stepNorm)) return false;  // don't poison the iterate
     Real scale = 1.0;
     if (stepNorm > opt.maxStep) scale = opt.maxStep / stepNorm;
     for (size_t i = 0; i < n; ++i) x[i] += scale * dx[i];
@@ -90,35 +96,88 @@ DcResult solveDc(const MnaSystem& sys, const DcOptions& opt,
     return result;
   }
 
-  // Gmin stepping: solve with a strong shunt, then relax it decade by
-  // decade, warm-starting each rung.
+  // Gmin stepping with backtracking: solve with a strong shunt, relax it
+  // rung by rung toward zero, warm-starting each rung. A failed rung no
+  // longer aborts the ladder (the old behavior, which killed deep logic
+  // chains whose Newton escape happens at one specific shunt level):
+  // instead the iterate reverts to the last converged rung and the rung is
+  // re-tightened — the relaxation ratio backs off toward 1, halving the
+  // stride in log-gshunt — then cautiously re-widened after each success.
   if (opt.gminSteps > 0) {
     RealVector x(sys.size(), 0.0);
-    bool ok = true;
-    Real gshunt = 1e-2;
-    for (int step = 0; step < opt.gminSteps && ok; ++step) {
-      ok = newtonSolve(sys, x, opt, 1.0, gshunt, &result.iterations, &ws);
-      gshunt *= 0.1;
+    RealVector xGood;
+    Real g = 1e-2;             // current rung's shunt
+    Real gGood = 0.0;          // shunt of the last converged rung
+    Real relax = 0.1;          // rung ratio; in [0.1, 1)
+    constexpr Real kGminFloor = 1e-14;
+    bool haveGood = false;
+    // Rung budget including retries: the plain ladder used gminSteps rungs;
+    // backtracking may re-walk hard levels at a finer stride.
+    for (int attempt = 0; attempt < 6 * opt.gminSteps; ++attempt) {
+      if (newtonSolve(sys, x, opt, 1.0, g, &result.iterations, &ws)) {
+        xGood = x;
+        gGood = g;
+        haveGood = true;
+        if (g <= kGminFloor) break;  // ladder bottomed out
+        relax = std::max(0.1, relax * relax);  // re-widen the stride
+        g = std::max(g * relax, kGminFloor);
+      } else if (!haveGood) {
+        // Even the strongest rung so far diverged: stiffen the start. The
+        // failed Newton may have left x huge-but-finite; restart the
+        // stiffer rung from zero or it inherits the escaped iterate.
+        if (g >= 1e6) break;
+        x.assign(sys.size(), 0.0);
+        g *= 100.0;
+      } else {
+        // Backtrack to the last converged rung and take a smaller
+        // relaxation step from there.
+        x = xGood;
+        relax = std::sqrt(relax);
+        if (relax > 0.97) break;  // stride collapsed: give up this ladder
+        g = std::max(gGood * relax, kGminFloor);
+      }
     }
     // Final solve with the caller's shunt only.
-    if (ok && newtonSolve(sys, x, opt, 1.0, opt.gshunt, &result.iterations,
-                          &ws)) {
-      result.x = x;
-      result.usedGminStepping = true;
-      return result;
+    if (haveGood) {
+      x = xGood;
+      if (newtonSolve(sys, x, opt, 1.0, opt.gshunt, &result.iterations,
+                      &ws)) {
+        result.x = x;
+        result.usedGminStepping = true;
+        return result;
+      }
     }
   }
 
-  // Source stepping: ramp all independent sources from zero.
+  // Source stepping with backtracking: ramp all independent sources from
+  // zero; a failed rung reverts to the last converged scale and halves the
+  // ramp increment instead of aborting.
   if (opt.sourceSteps > 0) {
     RealVector x(sys.size(), 0.0);
-    bool ok = true;
-    for (int step = 1; step <= opt.sourceSteps && ok; ++step) {
-      const Real scale = static_cast<Real>(step) / opt.sourceSteps;
-      ok = newtonSolve(sys, x, opt, scale, opt.gshunt, &result.iterations,
-                       &ws);
+    RealVector xGood(sys.size(), 0.0);
+    Real scale = 0.0;
+    const Real dsNominal = 1.0 / opt.sourceSteps;
+    Real ds = dsNominal;
+    constexpr Real kDsMin = 1e-4;
+    bool stalled = false;
+    for (int attempt = 0; attempt < 8 * opt.sourceSteps && scale < 1.0;
+         ++attempt) {
+      const Real target = std::min(1.0, scale + ds);
+      if (newtonSolve(sys, x, opt, target, opt.gshunt, &result.iterations,
+                      &ws)) {
+        scale = target;
+        xGood = x;
+        ds = std::min(ds * 2.0, dsNominal);  // re-widen after success
+      } else {
+        x = xGood;
+        ds *= 0.5;  // re-tighten the rung
+        if (ds < kDsMin) {
+          stalled = true;
+          break;
+        }
+      }
     }
-    if (ok) {
+    if (!stalled && scale >= 1.0) {
       result.x = x;
       result.usedSourceStepping = true;
       return result;

@@ -22,6 +22,8 @@
 
 namespace psmn {
 
+class ThreadPool;  // runtime/thread_pool.hpp
+
 enum class IntegrationMethod { kBackwardEuler, kTrapezoidal, kGear2 };
 
 struct TranOptions {
@@ -46,6 +48,11 @@ struct TranOptions {
   Real dtMax = 0.0;   // 0 -> 4*dt
   /// Start from this state instead of a DC solve (SPICE "UIC").
   const RealVector* initialState = nullptr;
+  /// Optional execution runtime. runTransientSensitivity partitions its
+  /// injection-source columns across this pool's slots (results are
+  /// bit-identical for every jobs count); runTransient ignores it — a
+  /// single Newton path has no column parallelism to exploit.
+  ThreadPool* pool = nullptr;
 };
 
 /// Reusable scratch + cached solver state for the stepping kernel. Create
@@ -98,6 +105,13 @@ struct TransientWorkspace {
   void solveAcceptedInPlace(std::span<Real> b, size_t nrhs = 1) const {
     if (sparse) slu.solveManyInPlace(b, nrhs);
     else dlu.solveManyInPlace(b, nrhs);
+  }
+  /// Concurrently callable variant: threads sharing the accepted-step
+  /// factorization solve disjoint column blocks, one scratch per thread.
+  void solveAcceptedInPlace(std::span<Real> b, size_t nrhs,
+                            LuSolveScratch<Real>& scratch) const {
+    if (sparse) slu.solveManyInPlace(b, nrhs, scratch);
+    else dlu.solveManyInPlace(b, nrhs, scratch);
   }
 };
 

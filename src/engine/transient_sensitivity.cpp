@@ -3,8 +3,22 @@
 #include <cmath>
 
 #include "engine/dc.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace psmn {
+namespace {
+
+/// Per-slot scratch for the parallel column update: at most one chunk of
+/// source columns runs per slot at a time (ThreadPool contract), so no
+/// locking is needed. Persists across time steps — the steady-state loop
+/// stays allocation-free once every slot's buffers are warm.
+struct SensSlotScratch {
+  RealVector bf, bq;
+  RealVector c0s;  // C0 * s_i
+  LuSolveScratch<Real> lu;
+};
+
+}  // namespace
 
 TransientSensitivityResult runTransientSensitivity(
     const MnaSystem& sys, Real t0, Real t1, Real dt,
@@ -93,8 +107,49 @@ TransientSensitivityResult runTransientSensitivity(
   stops.push_back(t1);
 
   Real t = t0;
+  Real hCur = dt;  // step size seen by the column update (set per segment)
   RealVector qd(n, 0.0);
-  RealVector c0s(n);  // C0 * s_i scratch
+
+  // Column partition across the execution runtime: the update below is
+  // embarrassingly parallel over injection sources — the accepted-step
+  // factorization is read-only after the Newton kernel built it, every
+  // column's triangular solve touches only that column, and each slot
+  // carries private stamp/solve scratch. Chunk boundaries depend only on
+  // (ns, slots), and each column's arithmetic is identical however the
+  // block is chunked, so results are bit-identical for every jobs count.
+  const size_t slots =
+      (opt.pool != nullptr && ns > 1) ? opt.pool->jobCount() : 1;
+  std::vector<SensSlotScratch> slotScratch(slots);
+  for (auto& sl : slotScratch) sl.c0s.resize(n);
+  const size_t chunk = (ns + slots - 1) / std::max<size_t>(slots, 1);
+  const auto updateColumns = [&](size_t i0, size_t i1, size_t slot) {
+    SensSlotScratch& sl = slotScratch[slot];
+    for (size_t i = i0; i < i1; ++i) {
+      sys.evalInjection(sources[i], x, t, &sl.bf, &sl.bq);
+      if (ws.sparse) {
+        cPrevSp.multiplyInto(s[i], sl.c0s);
+      } else {
+        for (size_t r = 0; r < n; ++r) {
+          const auto row = cPrevDn.row(r);
+          Real acc = 0.0;
+          for (size_t cc = 0; cc < n; ++cc) acc += row[cc] * s[i][cc];
+          sl.c0s[r] = acc;
+        }
+      }
+      Real* col = rhsAll.data() + i * n;
+      const Real h = hCur;  // the segment's accepted step size
+      for (size_t r = 0; r < n; ++r) {
+        col[r] = sl.c0s[r] / h - sl.bf[r] - (sl.bq[r] - qp[i][r]) / h;
+      }
+      qp[i] = sl.bq;
+    }
+    ws.solveAcceptedInPlace({rhsAll.data() + i0 * n, (i1 - i0) * n},
+                            i1 - i0, sl.lu);
+    for (size_t i = i0; i < i1; ++i) {
+      s[i].assign(rhsAll.begin() + i * n, rhsAll.begin() + (i + 1) * n);
+    }
+  };
+
   for (Real stop : stops) {
     if (stop <= t) continue;
     const auto count = static_cast<size_t>(
@@ -115,29 +170,15 @@ TransientSensitivityResult runTransientSensitivity(
       //   d/dt [ C s + dq/dp ] -> ((C1 s1 + bq1) - (C0 s0 + bq0))/h.
       // The Jacobian J = G1 + C1/h is exactly the matrix the Newton kernel
       // factored to accept this step, and C1 was evaluated there too: the
-      // update costs no extra evaluation or factorization, just one batched
-      // multi-RHS substitution for all ns injection columns.
-      for (size_t i = 0; i < ns; ++i) {
-        sys.evalInjection(sources[i], x, t, &bf, &bq);
-        if (ws.sparse) cPrevSp.multiplyInto(s[i], c0s);
-        else {
-          for (size_t r = 0; r < n; ++r) {
-            const auto row = cPrevDn.row(r);
-            Real acc = 0.0;
-            for (size_t cc = 0; cc < n; ++cc) acc += row[cc] * s[i][cc];
-            c0s[r] = acc;
-          }
-        }
-        Real* col = rhsAll.data() + i * n;
-        for (size_t r = 0; r < n; ++r) {
-          col[r] = c0s[r] / h - bf[r] - (bq[r] - qp[i][r]) / h;
-        }
-        qp[i] = bq;
-      }
+      // update costs no extra evaluation or factorization, just the
+      // multi-RHS substitutions for all ns injection columns — fanned
+      // across the pool's slots when the caller supplied one.
+      hCur = h;
       if (ns > 0) {
-        ws.solveAcceptedInPlace(rhsAll, ns);
-        for (size_t i = 0; i < ns; ++i) {
-          s[i].assign(rhsAll.begin() + i * n, rhsAll.begin() + (i + 1) * n);
+        if (slots > 1) {
+          opt.pool->parallelFor(ns, chunk, updateColumns);
+        } else {
+          updateColumns(0, ns, 0);
         }
       }
       if (ws.sparse) cPrevSp = ws.csp;

@@ -52,11 +52,17 @@ void DenseLU<T>::factor(const Matrix<T>& a) {
 
 template <class T>
 void DenseLU<T>::solveInPlace(std::span<T> b) const {
+  solveInPlace(b, scratch_);
+}
+
+template <class T>
+void DenseLU<T>::solveInPlace(std::span<T> b,
+                              LuSolveScratch<T>& scratch) const {
   const size_t n = size();
   PSMN_CHECK(b.size() == n, "LU solve: rhs size mismatch");
   // Apply permutation.
-  scratch_.resize(n);
-  std::span<T> x = scratch_;
+  scratch.x.resize(n);
+  std::span<T> x = scratch.x;
   for (size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
   // Forward substitution (L has unit diagonal).
   for (size_t i = 1; i < n; ++i) {
@@ -127,9 +133,17 @@ Matrix<T> DenseLU<T>::solveMatrix(const Matrix<T>& b) const {
 
 template <class T>
 void DenseLU<T>::solveManyInPlace(std::span<T> b, size_t nrhs) const {
+  solveManyInPlace(b, nrhs, scratch_);
+}
+
+template <class T>
+void DenseLU<T>::solveManyInPlace(std::span<T> b, size_t nrhs,
+                                  LuSolveScratch<T>& scratch) const {
   const size_t n = size();
   PSMN_CHECK(b.size() == n * nrhs, "LU solve: rhs block size mismatch");
-  for (size_t r = 0; r < nrhs; ++r) solveInPlace(b.subspan(r * n, n));
+  for (size_t r = 0; r < nrhs; ++r) {
+    solveInPlace(b.subspan(r * n, n), scratch);
+  }
 }
 
 template <class T>

@@ -25,6 +25,10 @@ class DenseLU {
   /// Solves A x = b.
   std::vector<T> solve(std::span<const T> b) const;
   void solveInPlace(std::span<T> b) const;
+  /// Concurrently callable variant: uses the caller's scratch instead of
+  /// the member buffer, so threads sharing one factorization may solve in
+  /// parallel (one scratch per thread).
+  void solveInPlace(std::span<T> b, LuSolveScratch<T>& scratch) const;
 
   /// Solves A^T x = b (plain transpose; for complex T this is A^T, not A^H —
   /// conjugate the RHS and the result to get an A^H solve).
@@ -38,6 +42,9 @@ class DenseLU {
   /// in `b` (column r occupies b[r*n .. r*n + n-1]); mirrors
   /// SparseLU::solveManyInPlace so the engines can switch backends.
   void solveManyInPlace(std::span<T> b, size_t nrhs) const;
+  /// Concurrently callable variant (see solveInPlace above).
+  void solveManyInPlace(std::span<T> b, size_t nrhs,
+                        LuSolveScratch<T>& scratch) const;
 
   size_t size() const { return lu_.rows(); }
   bool factored() const { return !lu_.empty(); }
@@ -53,10 +60,12 @@ class DenseLU {
   Matrix<T> lu_;
   std::vector<int> perm_;
   double pivotRatio_ = 0.0;
-  // Solve scratch, reused so repeated solves on a kept factorization are
-  // allocation-free (the transient engine's steady state relies on this).
-  // Consequence: the const solve methods are not thread-safe per object.
-  mutable std::vector<T> scratch_;
+  // Member solve scratch, reused so repeated solves on a kept factorization
+  // are allocation-free (the transient engine's steady state relies on
+  // this). Consequence: the scratch-less const solve methods are not
+  // thread-safe per object — concurrent callers must pass their own
+  // LuSolveScratch via the explicit overloads.
+  mutable LuSolveScratch<T> scratch_;
 };
 
 /// Convenience one-shot solve.

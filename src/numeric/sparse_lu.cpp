@@ -212,8 +212,16 @@ bool SparseLU<T>::refactor(const SparseMatrix<T>& a, double pivotTol) {
 
 template <class T>
 void SparseLU<T>::solveInPlace(std::span<T> b) const {
+  solveInPlace(b, scratch_);
+}
+
+template <class T>
+void SparseLU<T>::solveInPlace(std::span<T> b,
+                               LuSolveScratch<T>& scratch) const {
   PSMN_CHECK(b.size() == n_, "sparse LU solve: rhs size mismatch");
   PSMN_CHECK(valid_, "sparse LU solve: not factored");
+  std::vector<T>& solveRhs_ = scratch.rhs;
+  std::vector<T>& solveX_ = scratch.x;
   solveRhs_.assign(b.begin(), b.end());
   solveX_.assign(n_, T{});
   // Forward solve L y = P b, with L unit-diagonal; L columns carry original
@@ -245,13 +253,21 @@ void SparseLU<T>::solveInPlace(std::span<T> b) const {
 
 template <class T>
 void SparseLU<T>::solveManyInPlace(std::span<T> b, size_t nrhs) const {
+  solveManyInPlace(b, nrhs, scratch_);
+}
+
+template <class T>
+void SparseLU<T>::solveManyInPlace(std::span<T> b, size_t nrhs,
+                                   LuSolveScratch<T>& scratch) const {
   PSMN_CHECK(b.size() == n_ * nrhs, "sparse LU solve: rhs block size mismatch");
   PSMN_CHECK(valid_, "sparse LU solve: not factored");
   if (nrhs == 0) return;
   if (nrhs == 1) {
-    solveInPlace(b);
+    solveInPlace(b, scratch);
     return;
   }
+  std::vector<T>& solveRhs_ = scratch.rhs;
+  std::vector<T>& solveX_ = scratch.x;
   solveRhs_.assign(b.begin(), b.end());
   solveX_.assign(n_ * nrhs, T{});
   T* rhs = solveRhs_.data();
@@ -295,6 +311,7 @@ void SparseLU<T>::solveTransposedInPlace(std::span<T> b) const {
   // solve is A^{-T} = P^T L^{-T} U^{-T} Q^T. Both triangular passes turn
   // into gathers over the stored CSC columns: a column of U (resp. L) is a
   // row of U^T (resp. L^T), so no scatter scratch is needed.
+  std::vector<T>& solveX_ = scratch_.x;
   solveX_.resize(n_);
   for (size_t t = 0; t < n_; ++t) solveX_[t] = b[colOrder_[t]];
   // Forward solve U^T w = z: column t of U holds U(t', t), t' < t, with the
@@ -327,6 +344,7 @@ void SparseLU<T>::solveTransposedManyInPlace(std::span<T> b, size_t nrhs) const 
     solveTransposedInPlace(b);
     return;
   }
+  std::vector<T>& solveX_ = scratch_.x;
   solveX_.resize(n_ * nrhs);
   T* x = solveX_.data();
   for (size_t t = 0; t < n_; ++t) {

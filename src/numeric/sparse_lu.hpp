@@ -14,9 +14,12 @@
 //   * solveInPlace()/solveManyInPlace() reuse member scratch so repeated
 //     solves (multi-RHS sensitivity columns) never touch the heap.
 //
-// NOT thread-safe per object: the const solve methods mutate member
-// scratch, so concurrent solves must use one SparseLU per thread (batch
-// RHS columns into solveManyInPlace instead of parallelizing solves).
+// Thread safety: the scratch-less const solve methods mutate member
+// scratch and stay single-threaded per object. The LuSolveScratch
+// overloads touch only the (read-only) factorization, the RHS, and the
+// caller's scratch — the parallel sensitivity engine partitions RHS
+// columns across threads against one shared factorization this way, one
+// scratch per thread. factor()/refactor() remain exclusive.
 #pragma once
 
 #include <span>
@@ -52,11 +55,19 @@ class SparseLU {
 
   std::vector<T> solve(std::span<const T> b) const;
   void solveInPlace(std::span<T> b) const;
+  /// Concurrently callable variant: uses the caller's scratch instead of
+  /// the member buffers (one scratch per thread).
+  void solveInPlace(std::span<T> b, LuSolveScratch<T>& scratch) const;
 
   /// Batched solve of `nrhs` right-hand sides stored column-major in `b`
   /// (column r occupies b[r*n .. r*n + n-1]); one traversal of the L/U
   /// pattern serves all columns.
   void solveManyInPlace(std::span<T> b, size_t nrhs) const;
+  /// Concurrently callable variant (see solveInPlace above). Chunking a
+  /// column block across threads is bit-identical to one batched call:
+  /// every column's arithmetic involves only that column.
+  void solveManyInPlace(std::span<T> b, size_t nrhs,
+                        LuSolveScratch<T>& scratch) const;
 
   /// Solves A^T x = b (plain transpose; for complex T this is A^T, not
   /// A^H — mirrors DenseLU::solveTransposed so the adjoint LPTV/PPV
@@ -88,8 +99,10 @@ class SparseLU {
   std::vector<int> colOrder_;    // column elimination order
   std::vector<int> invColOrder_; // inverse of colOrder_
   // Scratch reused across refactor/solve calls (kept zeroed between uses).
+  // work_ backs refactor() (exclusive); scratch_ backs the scratch-less
+  // const solves, which are therefore not concurrently callable.
   mutable std::vector<T> work_;
-  mutable std::vector<T> solveRhs_, solveX_;
+  mutable LuSolveScratch<T> scratch_;
 };
 
 }  // namespace psmn

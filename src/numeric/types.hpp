@@ -12,6 +12,18 @@ using Cplx = std::complex<double>;
 using RealVector = std::vector<Real>;
 using CplxVector = std::vector<Cplx>;
 
+/// Caller-owned scratch for the LU triangular-solve paths. The scratch
+/// overloads of DenseLU/SparseLU::solve*InPlace are const and touch only
+/// the factorization (read-only), the RHS, and this object — so concurrent
+/// solves against one shared factorization are safe when every thread
+/// passes its own scratch (the parallel multi-RHS sensitivity relies on
+/// this). The scratch-less overloads use a member buffer instead and stay
+/// single-threaded per object.
+template <class T>
+struct LuSolveScratch {
+  std::vector<T> rhs, x;
+};
+
 inline constexpr Real kBoltzmann = 1.380649e-23;  // J/K
 inline constexpr Real kRoomTempK = 300.15;        // 27 C, SPICE default
 inline constexpr Real kElemCharge = 1.602176634e-19;  // C

@@ -1,0 +1,97 @@
+#include "runtime/scenario_sweep.hpp"
+
+#include <cmath>
+
+#include "engine/transient_sensitivity.hpp"
+
+namespace psmn {
+namespace {
+
+void runOneScenario(const SweepScenario& sc, SweepResult& out) {
+  PSMN_CHECK(sc.make != nullptr, "scenario has no netlist factory");
+  std::unique_ptr<Netlist> nl = sc.make();
+  PSMN_CHECK(nl != nullptr, "scenario factory returned null");
+  nl->finalize();
+  MnaSystem sys(*nl);
+
+  int outIdx = -1;
+  if (sc.analysis != SweepAnalysis::kMcBatch) {
+    PSMN_CHECK(!sc.outNode.empty(), "scenario needs an output node");
+    outIdx = nl->nodeIndex(sc.outNode);
+    PSMN_CHECK(outIdx >= 0, "unknown output node '" + sc.outNode + "'");
+  }
+
+  switch (sc.analysis) {
+    case SweepAnalysis::kTransient: {
+      const TransientResult tr =
+          runTransient(sys, sc.t0, sc.t1, sc.dt, sc.tran);
+      out.times = tr.times;
+      out.waveform = tr.waveform(outIdx);
+      out.finalState = tr.finalState;
+      break;
+    }
+    case SweepAnalysis::kTransientSensitivity: {
+      const auto sources = sys.collectSources(true, false);
+      const TransientSensitivityResult sr =
+          runTransientSensitivity(sys, sc.t0, sc.t1, sc.dt, sources, sc.tran);
+      out.times = sr.times;
+      out.waveform.resize(sr.states.size());
+      out.sigma.assign(sr.times.size(), 0.0);
+      for (size_t k = 0; k < sr.times.size(); ++k) {
+        out.waveform[k] = sr.states[k][outIdx];
+        Real var = 0.0;
+        for (size_t i = 0; i < sources.size(); ++i) {
+          const Real d = sr.sens[i][k][outIdx] * sources[i].sigma;
+          var += d * d;
+        }
+        out.sigma[k] = std::sqrt(var);
+      }
+      if (!sr.states.empty()) out.finalState = sr.states.back();
+      break;
+    }
+    case SweepAnalysis::kPssDriven: {
+      PSMN_CHECK(sc.period > 0.0, "PSS scenario needs a period");
+      const PssResult pss = solvePssDriven(sys, sc.period, sc.pss);
+      out.waveform = pss.waveform(outIdx);  // M periodic samples
+      out.times.assign(pss.times.begin(),
+                       pss.times.begin() + out.waveform.size());
+      if (!pss.states.empty()) out.finalState = pss.states.front();
+      break;
+    }
+    case SweepAnalysis::kMcBatch: {
+      PSMN_CHECK(sc.mcMeasure != nullptr, "MC scenario needs a measurement");
+      MonteCarloEngine engine(sys, sc.mc);
+      engine.setNetlistFactory(sc.make);
+      out.mc = engine.run(sc.mcNames, sc.mcMeasure);
+      break;
+    }
+  }
+  out.ok = true;
+}
+
+}  // namespace
+
+std::vector<SweepResult> runScenarioSweep(
+    std::span<const SweepScenario> scenarios, ThreadPool& pool) {
+  std::vector<SweepResult> results(scenarios.size());
+  // Chunk of 1: scenarios are coarse units of work, and slot order must
+  // not batch them (a slow scenario would serialize its chunk-mates).
+  pool.parallelFor(scenarios.size(), 1, [&](size_t b, size_t e, size_t) {
+    for (size_t i = b; i < e; ++i) {
+      SweepResult& out = results[i];
+      out.index = i;
+      out.name = scenarios[i].name;
+      // Scenario failures are data, not control flow: production sweeps
+      // must deliver the passing corners even when one corner dies.
+      try {
+        runOneScenario(scenarios[i], out);
+      } catch (const std::exception& err) {
+        out.ok = false;
+        out.error = err.what();
+      }
+    }
+  });
+  return results;
+}
+
+}  // namespace psmn

@@ -1,0 +1,83 @@
+// Scenario sweep: fans one analysis specification across N scenarios on
+// the execution runtime — corners, mismatch configurations, seeded MC
+// batches — the production sign-off loop around the paper's single
+// sensitivity solve.
+//
+// Ownership rules (docs/architecture.md "The parallel runtime"): every
+// scenario owns its full stack — a private Netlist built by its factory on
+// the evaluating slot, the MnaSystem over it, and the engine workspaces
+// (TransientWorkspace/PssWorkspace) the analyses allocate internally.
+// Nothing is shared between scenarios, so device mutation (mismatch
+// deltas) and workspace reuse need no locking. Results land in input
+// order; a failing scenario (ConvergenceError, NumericalError, ...) is
+// reported in its SweepResult instead of aborting the sweep.
+#pragma once
+
+#include <span>
+
+#include "core/monte_carlo.hpp"
+#include "engine/transient.hpp"
+#include "rf/pss.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace psmn {
+
+enum class SweepAnalysis {
+  kTransient,             // waveform of `outNode`
+  kTransientSensitivity,  // waveform + mismatch sigma(t) of `outNode`
+  kPssDriven,             // periodic steady-state waveform of `outNode`
+  kMcBatch,               // seeded Monte-Carlo batch (mcMeasure/mcNames)
+};
+
+struct SweepScenario {
+  std::string name;
+  /// Builds this scenario's private netlist (finalize() is called by the
+  /// sweep). Runs on the evaluating slot; must not touch shared state.
+  NetlistFactory make;
+
+  SweepAnalysis analysis = SweepAnalysis::kTransient;
+  /// Node whose waveform (and sigma(t)) is recorded; required for every
+  /// analysis except kMcBatch.
+  std::string outNode;
+
+  // kTransient / kTransientSensitivity window and engine options. The
+  // TranOptions::pool field is ignored here: scenarios already occupy the
+  // pool, and nested parallelFor would serialize anyway.
+  Real t0 = 0.0, t1 = 0.0, dt = 0.0;
+  TranOptions tran;
+
+  // kPssDriven.
+  Real period = 0.0;
+  PssOptions pss;
+
+  // kMcBatch: the batch engine runs on this scenario's netlist; `make` is
+  // reused as the engine's factory, so mc.jobs > 1 works — though inside a
+  // sweep the scenario fan-out is normally parallelism enough.
+  McOptions mc;
+  std::vector<std::string> mcNames;
+  McMeasure mcMeasure;
+};
+
+struct SweepResult {
+  size_t index = 0;  // input-order position
+  std::string name;
+  bool ok = false;
+  std::string error;  // exception text when !ok
+
+  // Waveform analyses.
+  std::vector<Real> times;
+  RealVector waveform;  // outNode at each time point
+  RealVector sigma;     // kTransientSensitivity: mismatch sigma(t)
+  RealVector finalState;
+
+  // kMcBatch.
+  McResult mc;
+};
+
+/// Runs every scenario on the pool, one slot per scenario at a time, and
+/// returns results in input order. Deterministic: scenario evaluation is
+/// self-contained, so results are independent of the pool's job count.
+std::vector<SweepResult> runScenarioSweep(
+    std::span<const SweepScenario> scenarios, ThreadPool& pool);
+
+}  // namespace psmn

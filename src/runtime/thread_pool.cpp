@@ -1,0 +1,143 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace psmn {
+namespace {
+
+/// Shared state of one parallelFor invocation. Drivers (queued tasks plus
+/// the calling thread) pull chunks from `next` until exhausted; the last
+/// driver to retire signals completion.
+struct LoopState {
+  size_t n = 0;
+  size_t chunk = 0;
+  const std::function<void(size_t, size_t, size_t)>* body = nullptr;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> activeDrivers{0};
+  std::mutex mutex;
+  std::condition_variable done;
+  // Lowest failed chunk wins; guarded by `mutex` (failure path only).
+  size_t failedChunk = SIZE_MAX;
+  std::exception_ptr error;
+
+  void drive(size_t slot) {
+    for (;;) {
+      const size_t begin = next.fetch_add(chunk);
+      if (begin >= n) break;
+      const size_t end = std::min(n, begin + chunk);
+      try {
+        (*body)(begin, end, slot);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        const size_t c = begin / chunk;
+        if (c < failedChunk) {
+          failedChunk = c;
+          error = std::current_exception();
+        }
+      }
+    }
+  }
+
+  void retireDriver() {
+    if (activeDrivers.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lock(mutex);
+      done.notify_all();
+    }
+  }
+};
+
+// The pool owning the current thread (null on non-worker threads). A
+// parallelFor issued from one of the SAME pool's workers must not block on
+// queued drivers (every other worker may be blocked the same way —
+// deadlock); it runs inline on the current slot instead, the documented
+// nested-parallelism semantics. A different pool's parallelFor is safe to
+// fan out: its workers drain their own queue independently.
+thread_local const void* tlsWorkerPool = nullptr;
+
+}  // namespace
+
+size_t ThreadPool::hardwareJobs() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(size_t jobs) {
+  if (jobs == 0) jobs = hardwareJobs();
+  workers_.reserve(jobs - 1);
+  for (size_t i = 0; i + 1 < jobs; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  tlsWorkerPool = this;  // the thread belongs to this pool for its lifetime
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallelFor(
+    size_t n, size_t chunk,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  PSMN_CHECK(chunk > 0, "parallelFor: chunk must be positive");
+  if (n == 0) return;
+  const size_t numChunks = (n + chunk - 1) / chunk;
+  const size_t drivers =
+      tlsWorkerPool == this ? 1 : std::min(jobCount(), numChunks);
+  if (drivers <= 1) {
+    // Serial fast path: run inline on slot 0, exceptions propagate as-is.
+    for (size_t begin = 0; begin < n; begin += chunk) {
+      body(begin, std::min(n, begin + chunk), 0);
+    }
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->n = n;
+  state->chunk = chunk;
+  state->body = &body;
+  state->activeDrivers.store(drivers);
+  // Queue drivers for slots 1..drivers-1; the calling thread is slot 0 and
+  // starts pulling chunks immediately, so a busy pool can never deadlock
+  // this loop — worst case the caller runs every chunk itself.
+  for (size_t slot = 1; slot < drivers; ++slot) {
+    post([state, slot] {
+      state->drive(slot);
+      state->retireDriver();
+    });
+  }
+  state->drive(0);
+  state->retireDriver();
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock,
+                     [&] { return state->activeDrivers.load() == 0; });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+}  // namespace psmn

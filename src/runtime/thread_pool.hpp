@@ -1,0 +1,95 @@
+// Fixed-size thread pool and deterministic data-parallel helpers — the
+// execution runtime under the scenario sweep, the parallel multi-RHS
+// sensitivity columns, and the Monte-Carlo sample batches.
+//
+// Design rules (see docs/architecture.md "The parallel runtime"):
+//   * ThreadPool(jobs) provides `jobs` concurrent execution slots: jobs-1
+//     worker threads plus the calling thread, which always participates in
+//     parallelFor. ThreadPool(1) spawns no threads and runs everything
+//     inline, so `--jobs 1` is exactly the serial code path.
+//   * parallelFor hands out fixed [begin, end) chunks from an atomic
+//     cursor. The body receives a `slot` in [0, jobCount()): at most one
+//     chunk runs per slot at a time, so per-slot scratch (LU solve buffers,
+//     injection vectors) needs no locking.
+//   * Failure propagation is deterministic: every chunk's exception is
+//     captured, and after the loop joins, the exception of the *lowest*
+//     failed chunk is rethrown — independent of thread count and timing.
+//   * parallelReduce combines per-chunk partials in chunk order, so
+//     floating-point reductions are bit-identical across jobs counts.
+//   * Nesting on the SAME pool is safe but serial: a parallelFor issued
+//     from one of the pool's own workers runs its chunks on the calling
+//     slot (inner drivers would queue behind busy workers). A different
+//     pool's parallelFor fans out normally — its workers drain their own
+//     queue independently, so no deadlock is possible.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace psmn {
+
+class ThreadPool {
+ public:
+  /// `jobs` = number of concurrent execution slots (0 -> hardwareJobs()).
+  explicit ThreadPool(size_t jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Concurrent execution slots: worker threads + the calling thread.
+  size_t jobCount() const { return workers_.size() + 1; }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static size_t hardwareJobs();
+
+  /// Enqueues a task on the work queue (fire-and-forget; exceptions from
+  /// queued tasks terminate, so wrap fallible work in parallelFor instead).
+  void post(std::function<void()> task);
+
+  /// Runs body(begin, end, slot) over [0, n) in chunks of `chunk`, blocking
+  /// until every chunk finished. Chunk boundaries are a pure function of
+  /// (n, chunk), never of timing. Rethrows the lowest failed chunk's
+  /// exception after completion.
+  void parallelFor(size_t n, size_t chunk,
+                   const std::function<void(size_t, size_t, size_t)>& body);
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+/// Deterministic chunked map-reduce: mapChunk(begin, end) produces one
+/// partial per chunk (on any slot, in any order); partials are then
+/// combined strictly in chunk order, so the result is bit-identical for
+/// every jobs count, including 1.
+template <class R, class Map, class Combine>
+R parallelReduce(ThreadPool& pool, size_t n, size_t chunk, R init,
+                 const Map& mapChunk, const Combine& combine) {
+  PSMN_CHECK(chunk > 0, "parallelReduce: chunk must be positive");
+  if (n == 0) return init;
+  const size_t numChunks = (n + chunk - 1) / chunk;
+  std::vector<R> partials(numChunks);
+  pool.parallelFor(n, chunk, [&](size_t begin, size_t end, size_t) {
+    partials[begin / chunk] = mapChunk(begin, end);
+  });
+  R acc = std::move(init);
+  for (size_t c = 0; c < numChunks; ++c) {
+    acc = combine(std::move(acc), std::move(partials[c]));
+  }
+  return acc;
+}
+
+}  // namespace psmn

@@ -85,6 +85,28 @@ TEST(Dc, GminSteppingRecoversBistableCircuit) {
   for (Real v : f) EXPECT_LT(std::fabs(v), 1e-8);
 }
 
+TEST(Dc, DeepInverterChainConvergesViaBacktrackingHomotopy) {
+  // 256 series inverters from a zero start: the iterate escapes at one
+  // specific gmin rung, which defeated the abort-on-failure ladders (the
+  // ROADMAP "DC homotopy robustness" item — this exact fixture failed
+  // before the ladders learned to backtrack and re-tighten the rung).
+  // Deep chains are the scenario-sweep workhorse, so a mid-sweep death
+  // here used to take the whole corner batch with it.
+  auto kit = ProcessKit::cmos130();
+  Netlist nl;
+  InverterChainOptions copt;
+  copt.stages = 256;
+  buildInverterChain(nl, kit, copt);
+  MnaSystem sys(nl);
+  const DcResult dc = solveDc(sys);
+  // Input low at t=0, so even stages sit low and odd stages high.
+  EXPECT_NEAR(dc.x[nl.nodeIndex("ch256")], 0.0, 1e-4);
+  EXPECT_NEAR(dc.x[nl.nodeIndex("ch255")], kit.vdd, 1e-4);
+  RealVector f;
+  sys.evalDense(dc.x, 0.0, &f, nullptr, nullptr, nullptr, {});
+  for (Real v : f) EXPECT_LT(std::fabs(v), 1e-8);
+}
+
 TEST(Dc, ThrowsWhenUnsolvable) {
   // Two ideal voltage sources in parallel with different values.
   Netlist nl;
