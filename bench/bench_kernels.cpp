@@ -60,10 +60,13 @@ void BM_SparseLuFactor(benchmark::State& state) {
     }
   }
   const auto sp = RealSparse::fromDense(dense);
+  size_t nnz = 0;
   for (auto _ : state) {
     SparseLU<Real> lu(sp);
+    nnz = lu.factorNonZeros();
     benchmark::DoNotOptimize(lu);
   }
+  state.counters["factor_nnz"] = static_cast<double>(nnz);
 }
 BENCHMARK(BM_SparseLuFactor)->Arg(32)->Arg(128)->Arg(512);
 
@@ -88,8 +91,48 @@ void BM_SparseLuRefactor(benchmark::State& state) {
     const bool ok = lu.refactor(sp);
     benchmark::DoNotOptimize(ok);
   }
+  state.counters["factor_nnz"] = static_cast<double>(lu.factorNonZeros());
 }
 BENCHMARK(BM_SparseLuRefactor)->Arg(32)->Arg(128)->Arg(512);
+
+/// Factor-fill tracker on the acceptance fixtures: one full factor
+/// (ordering + symbolic + numeric) of the transient Jacobian J = G + C/h
+/// under the given column ordering. The `factor_nnz` counter feeds the
+/// fill-trend check in scripts/check_bench_trend.py — nnz is a pure
+/// function of the pattern and ordering, so unlike the timings it is
+/// machine-independent and tracked un-normalized.
+void BM_FactorFill(benchmark::State& state, bool ring, OrderingKind kind) {
+  Netlist nl;
+  auto kit = ProcessKit::cmos130();
+  if (ring) {
+    RingOscillatorOptions oopt;
+    oopt.stages = 63;
+    buildRingOscillator(nl, kit, oopt);
+  } else {
+    InverterChainOptions copt;
+    copt.stages = 8;
+    copt.rows = 16;
+    buildInverterChain(nl, kit, copt);
+  }
+  MnaSystem sys(nl);
+  RealVector x(sys.size(), 0.6);
+  RealSparse gsp, csp;
+  sys.evalSparse(x, 0.0, nullptr, nullptr, &gsp, &csp, {});
+  MergedSparseAssembler<Real> jac;
+  jac.assemble(gsp, csp, 1.0 / 5e-12);
+  size_t nnz = 0;
+  for (auto _ : state) {
+    SparseLU<Real> lu(jac.matrix, 0.1, kind);
+    nnz = lu.factorNonZeros();
+    benchmark::DoNotOptimize(lu);
+  }
+  state.counters["unknowns"] = static_cast<double>(sys.size());
+  state.counters["factor_nnz"] = static_cast<double>(nnz);
+}
+BENCHMARK_CAPTURE(BM_FactorFill, chain_amd, false, OrderingKind::kAmd);
+BENCHMARK_CAPTURE(BM_FactorFill, chain_degree, false, OrderingKind::kDegree);
+BENCHMARK_CAPTURE(BM_FactorFill, ring_amd, true, OrderingKind::kAmd);
+BENCHMARK_CAPTURE(BM_FactorFill, ring_degree, true, OrderingKind::kDegree);
 
 void BM_SparseLuSolveMulti(benchmark::State& state) {
   // Batched multi-RHS substitution (the sensitivity engine's inner kernel)
@@ -200,6 +243,10 @@ void transientStepBench(benchmark::State& state, LinearSolverKind solver) {
   }
   state.counters["unknowns"] = static_cast<double>(n);
   state.counters["steps"] = static_cast<double>(steps);
+  if (ws.sparse) {
+    state.counters["factor_nnz"] =
+        static_cast<double>(ws.slu.factorNonZeros());
+  }
 }
 
 void BM_TransientStepDense(benchmark::State& state) {

@@ -13,6 +13,14 @@ The check fails when
 exceeds ``--threshold`` (default 1.25, the ROADMAP "perf trajectory" bar)
 for any hot-path benchmark present in both files.
 
+Factor fill: benchmarks that emit a ``factor_nnz`` counter (sparse
+factor/refactor kernels, the sparse transient steps, the ordering
+fixtures) are additionally checked on nnz(L+U). Fill is a pure function
+of the matrix pattern and the column ordering — machine-independent — so
+it is compared *un-normalized* against the baseline and fails past
+``--fill-threshold`` (default 1.05): a fill regression means the ordering
+got worse, not that the runner was slow.
+
 Trend history: ``--prev PATH`` additionally diffs the current run against
 the previous CI run's artifact (downloaded by the workflow) across *all*
 benchmarks the two runs share — the per-PR trajectory, not just the
@@ -55,6 +63,41 @@ def load(path):
     return out
 
 
+def load_fill(path):
+    """name -> factor_nnz for benchmarks that emit the fill counter."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        if "factor_nnz" in b:
+            out[b["name"]] = float(b["factor_nnz"])
+    return out
+
+
+def check_fill(cur_path, base_path, threshold):
+    """Un-normalized nnz(L+U) comparison; returns failing benchmark names."""
+    current = load_fill(cur_path)
+    baseline = load_fill(base_path)
+    common = sorted(set(current) & set(baseline))
+    if not common:
+        print("\nfill trend: no factor_nnz counters in common; skipping")
+        return []
+    failures = []
+    print(f"\nfactor fill vs baseline ({len(common)} benchmarks, "
+          f"un-normalized, fail past {threshold:.2f}x):")
+    for name in common:
+        base = baseline[name]
+        ratio = current[name] / base if base > 0 else float("inf")
+        verdict = "FAIL" if ratio > threshold else "  ok"
+        print(f"{verdict}  {name:<40} nnz {current[name]:8.0f} "
+              f"(baseline {base:8.0f}, {ratio:5.2f}x)")
+        if ratio > threshold:
+            failures.append(name)
+    return failures
+
+
 def diff_against_previous(current, prev_path):
     """Informational normalized diff against the previous run's artifact."""
     try:
@@ -83,6 +126,9 @@ def main():
     ap.add_argument("baseline", help="committed baseline JSON")
     ap.add_argument("--threshold", type=float, default=1.25,
                     help="fail when normalized ratio exceeds this (1.25 = +25%%)")
+    ap.add_argument("--fill-threshold", type=float, default=1.05,
+                    help="fail when factor_nnz exceeds baseline by this "
+                         "ratio (deterministic, so the bar is tight)")
     ap.add_argument("--prev", default=None,
                     help="previous CI run's bench JSON (informational "
                          "per-PR trend history; missing file is skipped)")
@@ -117,15 +163,25 @@ def main():
         print("error: no hot-path benchmarks in common", file=sys.stderr)
         return 2
 
+    fill_failures = check_fill(args.current, args.baseline,
+                               args.fill_threshold)
+
     if args.prev:
         diff_against_previous(current, args.prev)
 
-    if failures:
-        print(f"\n{len(failures)} hot-path regression(s) past "
-              f"{args.threshold:.2f}x: {', '.join(failures)}", file=sys.stderr)
+    if failures or fill_failures:
+        if failures:
+            print(f"\n{len(failures)} hot-path regression(s) past "
+                  f"{args.threshold:.2f}x: {', '.join(failures)}",
+                  file=sys.stderr)
+        if fill_failures:
+            print(f"\n{len(fill_failures)} factor-fill regression(s) past "
+                  f"{args.fill_threshold:.2f}x: {', '.join(fill_failures)}",
+                  file=sys.stderr)
         return 1
     print(f"\nall {checked} hot-path benchmarks within "
-          f"{args.threshold:.2f}x of baseline")
+          f"{args.threshold:.2f}x of baseline; fill within "
+          f"{args.fill_threshold:.2f}x")
     return 0
 
 

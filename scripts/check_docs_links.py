@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Markdown link and anchor checker for README.md + docs/*.md.
+
+Pure stdlib (runs in CI with no installs). For every markdown file it
+verifies that
+
+* relative links (``[text](path)``, images included) resolve to a file
+  or directory that exists in the repository, and
+* anchor links (``#heading`` or ``path#heading``) name a real heading in
+  the target file, using GitHub's slugification rules (lowercase, drop
+  punctuation, spaces to hyphens, ``-N`` suffixes for duplicates).
+
+External ``http(s)://`` and ``mailto:`` targets are skipped — CI has no
+network, and flaky-URL failures would train everyone to ignore the job.
+Links inside fenced code blocks are ignored. Exit code 1 lists every
+broken link with its file and line.
+
+Usage:  python3 scripts/check_docs_links.py [file-or-dir ...]
+        (defaults to README.md and docs/, relative to the repo root)
+"""
+
+import argparse
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def strip_fences(lines):
+    """Yields (lineno, line) for lines outside fenced code blocks."""
+    fenced = False
+    for no, line in enumerate(lines, 1):
+        if FENCE_RE.match(line.strip()):
+            fenced = not fenced
+            continue
+        if not fenced:
+            yield no, line
+
+
+def github_slug(heading, taken):
+    """GitHub's anchor slug for a heading text, with duplicate suffixes."""
+    # Drop inline markdown decorations, then punctuation.
+    text = re.sub(r"[`*]", "", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    slug = "".join(c for c in text.lower()
+                   if c.isalnum() or c in " -_").replace(" ", "-")
+    if slug not in taken:
+        taken[slug] = 0
+        return slug
+    taken[slug] += 1
+    return f"{slug}-{taken[slug]}"
+
+
+def collect_anchors(path):
+    anchors = set()
+    taken = {}
+    with open(path, encoding="utf-8") as f:
+        for _, line in strip_fences(f.read().splitlines()):
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(github_slug(m.group(2), taken))
+    return anchors
+
+
+def collect_links(path):
+    links = []
+    with open(path, encoding="utf-8") as f:
+        for no, line in strip_fences(f.read().splitlines()):
+            # Drop inline code spans so `[i](...)`-looking code is ignored.
+            cleaned = re.sub(r"`[^`]*`", "", line)
+            for m in LINK_RE.finditer(cleaned):
+                links.append((no, m.group(1)))
+    return links
+
+
+def expand_targets(args, repo_root):
+    targets = args or ["README.md", "docs"]
+    files = []
+    for t in targets:
+        full = os.path.join(repo_root, t)
+        if os.path.isdir(full):
+            files.extend(os.path.join(full, n) for n in sorted(os.listdir(full))
+                         if n.endswith(".md"))
+        elif os.path.exists(full):
+            files.append(full)
+        else:
+            print(f"error: no such file or directory: {t}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("targets", nargs="*",
+                    help="markdown files or directories (default: README.md docs/)")
+    args = ap.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = expand_targets(args.targets, repo_root)
+
+    anchor_cache = {}
+
+    def anchors_of(path):
+        if path not in anchor_cache:
+            anchor_cache[path] = collect_anchors(path)
+        return anchor_cache[path]
+
+    errors = []
+    checked = 0
+    for md in files:
+        base = os.path.dirname(md)
+        rel_md = os.path.relpath(md, repo_root)
+        for lineno, target in collect_links(md):
+            if target.startswith(EXTERNAL):
+                continue
+            checked += 1
+            path_part, _, anchor = target.partition("#")
+            if path_part:
+                dest = os.path.normpath(os.path.join(base, path_part))
+                if not os.path.exists(dest):
+                    errors.append(f"{rel_md}:{lineno}: broken link "
+                                  f"'{target}' (no such file)")
+                    continue
+            else:
+                dest = md  # intra-file anchor
+            if anchor:
+                if not dest.endswith(".md"):
+                    errors.append(f"{rel_md}:{lineno}: anchor on non-markdown "
+                                  f"target '{target}'")
+                elif anchor not in anchors_of(dest):
+                    errors.append(f"{rel_md}:{lineno}: broken anchor "
+                                  f"'{target}' (no heading slugs to "
+                                  f"'#{anchor}' in "
+                                  f"{os.path.relpath(dest, repo_root)})")
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"{len(files)} files, {checked} internal links checked, "
+          f"{len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,7 +49,7 @@ bool newtonSolve(const MnaSystem& sys, RealVector& x, const DcOptions& opt,
           ws->patternNnz = ws->gsp.nonZeros();
         }
         if (!ws->sluSymbolic || !ws->slu.refactor(ws->gsp)) {
-          ws->slu.factor(ws->gsp);
+          ws->slu.factor(ws->gsp, 0.1, opt.ordering);
           ws->sluSymbolic = true;
         }
         ws->slu.solveInPlace(f);

@@ -23,6 +23,8 @@ struct DcOptions {
   /// all Newton iterations).
   LinearSolverKind solver = LinearSolverKind::kAuto;
   size_t sparseThreshold = kSparseSolverThreshold;
+  /// Fill-reducing column pre-ordering for the sparse backend.
+  OrderingKind ordering = OrderingKind::kAmd;
 };
 
 struct DcResult {

@@ -89,7 +89,7 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
         if (ws.sluSymbolic && ws.slu.refactor(ws.jac.matrix)) {
           ++ws.refactorizations;
         } else {
-          ws.slu.factor(ws.jac.matrix);
+          ws.slu.factor(ws.jac.matrix, 0.1, ws.ordering);
           ws.sluSymbolic = true;
           ++ws.fullFactorizations;
         }
@@ -175,6 +175,7 @@ TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
     dopt.gshunt = opt.gshunt;
     dopt.solver = opt.solver;
     dopt.sparseThreshold = opt.sparseThreshold;
+    dopt.ordering = opt.ordering;
     x = solveDc(sys, dopt).x;
   }
   RealVector q;

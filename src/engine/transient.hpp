@@ -39,6 +39,9 @@ struct TranOptions {
   /// unknowns.
   LinearSolverKind solver = LinearSolverKind::kAuto;
   size_t sparseThreshold = kSparseSolverThreshold;
+  /// Fill-reducing column pre-ordering used by the sparse backend's
+  /// symbolic analysis (numeric refactorizations inherit it).
+  OrderingKind ordering = OrderingKind::kAmd;
   /// Adaptive timestep control (fixed grid when false). The nominal dt is
   /// the starting step; it shrinks/grows within [dtMin, dtMax].
   bool adaptive = false;
@@ -67,9 +70,10 @@ struct TranOptions {
 /// against it via solveAcceptedInPlace() instead of re-evaluating and
 /// re-factoring.
 struct TransientWorkspace {
-  // Backend, fixed on first use.
+  // Backend and ordering, fixed on first use.
   bool sparse = false;
   bool chosen = false;
+  OrderingKind ordering = OrderingKind::kAmd;
 
   // Scratch vectors.
   RealVector f, q1, r, rhsQ, x1, qd1;
@@ -98,6 +102,7 @@ struct TransientWorkspace {
   void chooseBackend(size_t n, const TranOptions& opt) {
     if (chosen) return;
     sparse = useSparseSolver(opt.solver, n, opt.sparseThreshold);
+    ordering = opt.ordering;
     chosen = true;
   }
 

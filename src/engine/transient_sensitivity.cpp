@@ -48,6 +48,7 @@ TransientSensitivityResult runTransientSensitivity(
     dopt.time = t0;
     dopt.solver = opt.solver;
     dopt.sparseThreshold = opt.sparseThreshold;
+    dopt.ordering = opt.ordering;
     x = solveDc(sys, dopt).x;
   }
 
@@ -70,7 +71,7 @@ TransientSensitivityResult runTransientSensitivity(
   }
   if (opt.initialState == nullptr && ns > 0) {
     if (ws.sparse) {
-      SparseLU<Real> lu(ws.gsp);
+      SparseLU<Real> lu(ws.gsp, 0.1, opt.ordering);
       lu.solveManyInPlace(rhsAll, ns);
     } else {
       DenseLU<Real> lu(ws.j);

@@ -1,0 +1,287 @@
+// Approximate minimum degree (AMD) on the quotient graph, after Amestoy,
+// Davis & Duff. The elimination graph is never formed: eliminating a
+// variable p turns it into an *element* whose member list L_p records the
+// clique the elimination would have created, and the graph seen by later
+// steps is (remaining variables) + (elements), with a variable's true
+// adjacency the union of its variable neighbors and its elements' members.
+//
+// The implementation keeps, per node i:
+//   adjV_[i]  — principal supervariable neighbors (lazily purged),
+//   adjE_[i]  — adjacent elements (lazily purged),
+//   elemV_[e] — an element's member variables (lazily purged),
+//   nv_[i]    — supervariable weight (#original columns represented).
+// and the classic machinery on top:
+//   * element absorption  — every element adjacent to p is subsumed by the
+//     new element L_p (plus aggressive absorption of elements that turn
+//     out to be subsets of L_p);
+//   * supervariable merging — members of L_p with identical quotient-graph
+//     adjacency (hash + exact compare) collapse into one weighted node;
+//   * mass elimination    — members whose entire neighborhood lies inside
+//     L_p ∪ {p} are eliminated with p at zero extra fill;
+//   * approximate degrees — d_i <= |A_i \ L_p| + |L_p \ i| + sum |L_e \ L_p|,
+//     with each |L_e \ L_p| computed for all touched elements in one
+//     stamped scan over L_p (the "w trick" that makes AMD approximate:
+//     overlap *between* elements is not subtracted).
+#include "numeric/ordering.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace psmn {
+namespace {
+
+enum class Node : uint8_t {
+  kLive,        // principal supervariable, not yet eliminated
+  kEliminated,  // principal turned element (may still be a live element)
+  kMerged,      // variable absorbed into another supervariable
+  kDeadElem,    // element absorbed into a newer element
+};
+
+class AmdState {
+ public:
+  AmdState(size_t n, std::span<const int> colPtr, std::span<const int> rowIdx)
+      : n_(static_cast<int>(n)),
+        state_(n, Node::kLive),
+        nv_(n, 1),
+        adjV_(n),
+        adjE_(n),
+        elemV_(n),
+        members_(n),
+        deg_(n, 0),
+        bucketPrev_(n, -1),
+        bucketNext_(n, -1),
+        bucketHead_(n + 1, -1),
+        markV_(n, 0),
+        markE_(n, 0),
+        w_(n, 0) {
+    // Symmetrize the pattern: every off-diagonal entry of A contributes an
+    // undirected edge; duplicates from A having both (i,j) and (j,i) are
+    // removed by a per-node sort+unique.
+    for (int j = 0; j < n_; ++j) {
+      for (int p = colPtr[j]; p < colPtr[j + 1]; ++p) {
+        const int i = rowIdx[p];
+        if (i == j) continue;
+        adjV_[i].push_back(j);
+        adjV_[j].push_back(i);
+      }
+    }
+    for (int i = 0; i < n_; ++i) {
+      auto& av = adjV_[i];
+      std::sort(av.begin(), av.end());
+      av.erase(std::unique(av.begin(), av.end()), av.end());
+      members_[i].push_back(i);
+      deg_[i] = static_cast<int>(av.size());
+      bucketInsert(i);
+    }
+  }
+
+  std::vector<int> run() {
+    std::vector<int> order;
+    order.reserve(n_);
+    int remaining = n_;  // total weight of live variables
+    int minDeg = 0;
+    std::vector<int> lp;        // members of the element being formed
+    std::vector<int> hashes;    // per-Lp-member adjacency hashes
+    while (remaining > 0) {
+      while (bucketHead_[minDeg] < 0) ++minDeg;
+      const int p = bucketHead_[minDeg];
+      bucketRemove(p);
+      ++stamp_;
+
+      // ---- Form L_p: live principals adjacent to p, directly or through
+      // one of p's elements. Every such element is absorbed into L_p.
+      lp.clear();
+      int lpWeight = 0;
+      markV_[p] = stamp_;
+      auto addMember = [&](int v) {
+        if (state_[v] == Node::kLive && markV_[v] != stamp_) {
+          markV_[v] = stamp_;
+          lp.push_back(v);
+          lpWeight += nv_[v];
+        }
+      };
+      for (int v : adjV_[p]) addMember(v);
+      for (int e : adjE_[p]) {
+        if (state_[e] != Node::kEliminated) continue;  // already absorbed
+        for (int v : elemV_[e]) addMember(v);
+        state_[e] = Node::kDeadElem;
+        freeList(elemV_[e]);
+      }
+      state_[p] = Node::kEliminated;
+      elemV_[p] = lp;
+      freeList(adjV_[p]);
+      freeList(adjE_[p]);
+      remaining -= nv_[p];
+
+      // ---- Purge each member's adjacency: variable neighbors inside L_p
+      // are now reached through element p (quotient-graph compression),
+      // dead nodes drop out.
+      for (int i : lp) {
+        bucketRemove(i);
+        auto& av = adjV_[i];
+        av.erase(std::remove_if(av.begin(), av.end(),
+                                [&](int v) {
+                                  return state_[v] != Node::kLive ||
+                                         markV_[v] == stamp_;
+                                }),
+                 av.end());
+        auto& ae = adjE_[i];
+        ae.erase(std::remove_if(
+                     ae.begin(), ae.end(),
+                     [&](int e) { return state_[e] != Node::kEliminated; }),
+                 ae.end());
+      }
+
+      // ---- Stamped scan: w_[e] = weight(L_e \ L_p) for every element
+      // adjacent to L_p, via one pass that purges and weighs each element
+      // the first time it is touched, then subtracts the overlapping
+      // member weights.
+      for (int i : lp) {
+        for (int e : adjE_[i]) {
+          if (markE_[e] != stamp_) {
+            markE_[e] = stamp_;
+            auto& ev = elemV_[e];
+            ev.erase(std::remove_if(
+                         ev.begin(), ev.end(),
+                         [&](int v) { return state_[v] != Node::kLive; }),
+                     ev.end());
+            int wt = 0;
+            for (int v : ev) wt += nv_[v];
+            w_[e] = wt;
+          }
+          w_[e] -= nv_[i];
+        }
+      }
+      // Aggressive absorption: an element fully inside L_p carries no
+      // information beyond element p — kill it and drop the references.
+      for (int i : lp) {
+        auto& ae = adjE_[i];
+        ae.erase(std::remove_if(ae.begin(), ae.end(),
+                                [&](int e) {
+                                  if (w_[e] == 0) {
+                                    state_[e] = Node::kDeadElem;
+                                    freeList(elemV_[e]);
+                                    return true;
+                                  }
+                                  return false;
+                                }),
+                 ae.end());
+      }
+
+      // ---- Supervariable detection: members of L_p with identical
+      // quotient adjacency (same variable neighbors outside L_p, same
+      // element list — both about to gain p) are indistinguishable and
+      // merge into one weighted node. Hash first, compare exactly on
+      // collision.
+      hashes.assign(lp.size(), 0);
+      for (size_t a = 0; a < lp.size(); ++a) {
+        const int i = lp[a];
+        std::sort(adjV_[i].begin(), adjV_[i].end());
+        std::sort(adjE_[i].begin(), adjE_[i].end());
+        uint64_t h = 1469598103934665603ull;
+        for (int v : adjV_[i]) h = (h ^ static_cast<uint64_t>(v)) * 1099511628211ull;
+        for (int e : adjE_[i]) {
+          h = (h ^ (static_cast<uint64_t>(e) + static_cast<uint64_t>(n_))) *
+              1099511628211ull;
+        }
+        hashes[a] = static_cast<int>(h % 1000000007ull);
+      }
+      for (size_t a = 0; a < lp.size(); ++a) {
+        const int i = lp[a];
+        if (state_[i] != Node::kLive) continue;
+        for (size_t b = a + 1; b < lp.size(); ++b) {
+          const int j = lp[b];
+          if (state_[j] != Node::kLive || hashes[a] != hashes[b]) continue;
+          if (adjV_[i] != adjV_[j] || adjE_[i] != adjE_[j]) continue;
+          // Merge j into i.
+          nv_[i] += nv_[j];
+          nv_[j] = 0;
+          state_[j] = Node::kMerged;
+          auto& mi = members_[i];
+          auto& mj = members_[j];
+          mi.insert(mi.end(), mj.begin(), mj.end());
+          freeList(mj);
+          freeList(adjV_[j]);
+          freeList(adjE_[j]);
+        }
+      }
+
+      // ---- Mass elimination + approximate degree update for the
+      // surviving members; survivors gain element p and re-enter the
+      // degree buckets.
+      for (int i : lp) {
+        if (state_[i] != Node::kLive) continue;  // merged above
+        if (adjV_[i].empty() && adjE_[i].empty()) {
+          // Entire neighborhood is inside L_p ∪ {p}: eliminating i right
+          // after p adds no fill — fold it into p's output block.
+          auto& mp = members_[p];
+          auto& mi = members_[i];
+          mp.insert(mp.end(), mi.begin(), mi.end());
+          freeList(mi);
+          state_[i] = Node::kMerged;
+          remaining -= nv_[i];
+          lpWeight -= nv_[i];
+          nv_[i] = 0;
+          continue;
+        }
+        long d = 0;
+        for (int v : adjV_[i]) d += nv_[v];
+        for (int e : adjE_[i]) d += w_[e];  // every e was stamped above
+        d += lpWeight - nv_[i];
+        const long cap = remaining - nv_[i];  // can't exceed what's left
+        deg_[i] = static_cast<int>(std::min(d, cap));
+        adjE_[i].push_back(p);
+        bucketInsert(i);
+        minDeg = std::min(minDeg, deg_[i]);
+      }
+
+      for (int v : members_[p]) order.push_back(v);
+      freeList(members_[p]);
+    }
+    return order;
+  }
+
+ private:
+  static void freeList(std::vector<int>& v) {
+    v.clear();
+    v.shrink_to_fit();
+  }
+
+  void bucketInsert(int i) {
+    const int d = deg_[i];
+    bucketPrev_[i] = -1;
+    bucketNext_[i] = bucketHead_[d];
+    if (bucketHead_[d] >= 0) bucketPrev_[bucketHead_[d]] = i;
+    bucketHead_[d] = i;
+  }
+
+  void bucketRemove(int i) {
+    if (bucketPrev_[i] >= 0) {
+      bucketNext_[bucketPrev_[i]] = bucketNext_[i];
+    } else if (bucketHead_[deg_[i]] == i) {
+      bucketHead_[deg_[i]] = bucketNext_[i];
+    } else {
+      return;  // not linked (already removed this round)
+    }
+    if (bucketNext_[i] >= 0) bucketPrev_[bucketNext_[i]] = bucketPrev_[i];
+    bucketPrev_[i] = bucketNext_[i] = -1;
+  }
+
+  int n_;
+  int stamp_ = 0;
+  std::vector<Node> state_;
+  std::vector<int> nv_;
+  std::vector<std::vector<int>> adjV_, adjE_, elemV_, members_;
+  std::vector<int> deg_, bucketPrev_, bucketNext_, bucketHead_;
+  std::vector<int> markV_, markE_, w_;
+};
+
+}  // namespace
+
+std::vector<int> amdOrder(size_t n, std::span<const int> colPtr,
+                          std::span<const int> rowIdx) {
+  if (n == 0) return {};
+  return AmdState(n, colPtr, rowIdx).run();
+}
+
+}  // namespace psmn

@@ -7,9 +7,9 @@
 namespace psmn {
 namespace {
 
-// Cheap fill-reducing column ordering: sort columns by nonzero count
-// (a degenerate but effective stand-in for minimum degree on MNA systems,
-// which are near-symmetric).
+// Static fill-reducing stand-in: sort columns by nonzero count. Kept as
+// OrderingKind::kDegree (the pre-AMD default) for comparison and as a
+// fallback; unlike AMD it never reacts to fill created mid-elimination.
 template <class T>
 std::vector<int> orderColumnsByDegree(const SparseMatrix<T>& a) {
   const size_t n = a.cols();
@@ -22,10 +22,28 @@ std::vector<int> orderColumnsByDegree(const SparseMatrix<T>& a) {
   return order;
 }
 
+template <class T>
+std::vector<int> orderColumns(const SparseMatrix<T>& a, OrderingKind kind) {
+  switch (kind) {
+    case OrderingKind::kNatural: {
+      std::vector<int> order(a.cols());
+      std::iota(order.begin(), order.end(), 0);
+      return order;
+    }
+    case OrderingKind::kDegree:
+      return orderColumnsByDegree(a);
+    case OrderingKind::kAmd:
+      return amdOrder(a.cols(), a.colPointers(), a.rowIndices());
+  }
+  PSMN_CHECK(false, "unknown ordering kind");
+  return {};
+}
+
 }  // namespace
 
 template <class T>
-void SparseLU<T>::factor(const SparseMatrix<T>& a, double pivotThreshold) {
+void SparseLU<T>::factor(const SparseMatrix<T>& a, double pivotThreshold,
+                         OrderingKind ordering) {
   PSMN_CHECK(a.rows() == a.cols(), "sparse LU requires a square matrix");
   PSMN_CHECK(pivotThreshold > 0.0 && pivotThreshold <= 1.0,
              "pivot threshold must be in (0,1]");
@@ -36,7 +54,7 @@ void SparseLU<T>::factor(const SparseMatrix<T>& a, double pivotThreshold) {
   const auto aIdx = a.rowIndices();
   const auto aVal = a.values();
 
-  colOrder_ = orderColumnsByDegree(a);
+  colOrder_ = orderColumns(a, ordering);
   invColOrder_.assign(n_, 0);
   for (size_t k = 0; k < n_; ++k) invColOrder_[colOrder_[k]] = static_cast<int>(k);
 

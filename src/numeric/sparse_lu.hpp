@@ -1,8 +1,8 @@
 // Sparse LU factorization: left-looking Gilbert–Peierls with threshold
-// partial pivoting and an approximate-minimum-degree-flavoured column
-// pre-ordering. This is the solver used for netlists too large for the
-// dense path; for the paper's benchmark circuits either backend works and
-// tests assert that they agree.
+// partial pivoting and a fill-reducing column pre-ordering (AMD by
+// default; see numeric/ordering.hpp). This is the solver used for
+// netlists too large for the dense path; for the paper's benchmark
+// circuits either backend works and tests assert that they agree.
 //
 // Designed around the transient engine's access pattern:
 //   * factor() once does the symbolic work (column ordering, pivot
@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "numeric/ordering.hpp"
 #include "numeric/sparse_matrix.hpp"
 
 namespace psmn {
@@ -36,11 +37,16 @@ class SparseLU {
 
   /// `pivotThreshold` in (0,1]: 1.0 is full partial pivoting; smaller values
   /// trade stability for sparsity preservation (SPICE-style 0.001..0.1).
-  explicit SparseLU(const SparseMatrix<T>& a, double pivotThreshold = 0.1) {
-    factor(a, pivotThreshold);
+  /// `ordering` selects the fill-reducing column pre-ordering computed
+  /// during symbolic analysis; refactor() reuses it along with the pivot
+  /// sequence and fill pattern.
+  explicit SparseLU(const SparseMatrix<T>& a, double pivotThreshold = 0.1,
+                    OrderingKind ordering = OrderingKind::kAmd) {
+    factor(a, pivotThreshold, ordering);
   }
 
-  void factor(const SparseMatrix<T>& a, double pivotThreshold = 0.1);
+  void factor(const SparseMatrix<T>& a, double pivotThreshold = 0.1,
+              OrderingKind ordering = OrderingKind::kAmd);
 
   /// Numeric-only refactorization: reuses the pivot sequence, column order,
   /// and fill pattern of the last factor(). `a` must have the same sparsity

@@ -115,9 +115,11 @@ class StepFactors {
       SparseLU<Cplx>& lu = lus_[k - 1];
       if (symbolic) {
         lu = lus_[k - 2];  // inherit the symbolic factorization
-        if (!lu.refactor(kAsm.matrix)) lu.factor(kAsm.matrix);
+        if (!lu.refactor(kAsm.matrix)) {
+          lu.factor(kAsm.matrix, 0.1, pss.ordering);
+        }
       } else {
-        lu.factor(kAsm.matrix);
+        lu.factor(kAsm.matrix, 0.1, pss.ordering);
         symbolic = true;
       }
     }

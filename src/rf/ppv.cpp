@@ -41,7 +41,7 @@ struct SparseSweep {
       symbolic = false;
     }
     if (!symbolic || !lu.refactor(jAsm.matrix)) {
-      lu.factor(jAsm.matrix);
+      lu.factor(jAsm.matrix, 0.1, pss.ordering);
       symbolic = true;
     }
     zk = lu.solveTransposed(y);

@@ -32,6 +32,7 @@ TranOptions stepOptions(const PssOptions& opt) {
   t.gshunt = opt.gshunt;
   t.solver = opt.solver;
   t.sparseThreshold = opt.sparseThreshold;
+  t.ordering = opt.ordering;
   return t;
 }
 
@@ -175,6 +176,7 @@ PssResult packResult(const MnaSystem& sys, const RealVector& x0, Real t0,
   res.t0 = t0;
   res.states = std::move(fin.states);
   res.sparseLinearizations = pw.tran.sparse;
+  res.ordering = opt.ordering;
   res.gMats = std::move(fin.gMats);
   res.cMats = std::move(fin.cMats);
   res.gSpMats = std::move(fin.gSpMats);
@@ -246,6 +248,7 @@ RealVector pssWarmup(const MnaSystem& sys, Real period, int cycles,
     dopt.gshunt = opt.gshunt;
     dopt.solver = opt.solver;
     dopt.sparseThreshold = opt.sparseThreshold;
+    dopt.ordering = opt.ordering;
     x = solveDc(sys, dopt).x;
   }
   for (int cyc = 0; cyc < cycles; ++cyc) {

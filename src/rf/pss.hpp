@@ -42,6 +42,10 @@ struct PssOptions {
   /// sparseThreshold unknowns (same crossover as the transient engine).
   LinearSolverKind solver = LinearSolverKind::kAuto;
   size_t sparseThreshold = kSparseSolverThreshold;
+  /// Fill-reducing ordering for every sparse factorization downstream of
+  /// this solve: the period integration, and — via PssResult::ordering —
+  /// the LPTV step factors, pnoise, and the PPV backward sweep.
+  OrderingKind ordering = OrderingKind::kAmd;
 };
 
 /// Reusable solver state for the shooting engines: the transient workspace
@@ -80,6 +84,9 @@ struct PssResult {
   /// gSpMats/cSpMats from the sparse workspace. The LPTV and PPV solvers
   /// consume whichever is present.
   bool sparseLinearizations = false;
+  /// Ordering the orbit was factored with; consumers of the stored sparse
+  /// linearizations (LPTV step factors, PPV sweep) apply the same one.
+  OrderingKind ordering = OrderingKind::kAmd;
   std::vector<RealMatrix> gMats;
   std::vector<RealMatrix> cMats;
   std::vector<RealSparse> gSpMats;

@@ -1,6 +1,7 @@
 // Unit and property tests for the numeric substrate.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -346,6 +347,191 @@ TEST(SparseLu, TransposedMultiRhsMatchesScatteredSolves) {
       EXPECT_NEAR(batch[r * n + i], singles[r][i], 1e-12);
     }
   }
+}
+
+// ----------------------------------------------------- orderings / AMD
+
+// Asserts `order` is a permutation of 0..n-1.
+void expectValidPermutation(const std::vector<int>& order, size_t n) {
+  ASSERT_EQ(order.size(), n);
+  std::vector<char> seen(n, 0);
+  for (int v : order) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(static_cast<size_t>(v), n);
+    EXPECT_FALSE(seen[v]) << "column " << v << " appears twice";
+    seen[v] = 1;
+  }
+}
+
+size_t factorNnz(const RealSparse& a, OrderingKind kind) {
+  SparseLU<Real> lu(a, 0.1, kind);
+  return lu.factorNonZeros();
+}
+
+// Arrow matrix with the dense hub FIRST: the worst case for the natural
+// order (eliminating the hub first fills the whole matrix) and the
+// canonical win for any minimum-degree strategy.
+RealSparse arrowMatrix(size_t n) {
+  std::vector<Triplet<Real>> t;
+  for (size_t i = 0; i < n; ++i) {
+    t.push_back({static_cast<int>(i), static_cast<int>(i), 4.0});
+    if (i > 0) {
+      t.push_back({0, static_cast<int>(i), 1.0});
+      t.push_back({static_cast<int>(i), 0, 1.0});
+    }
+  }
+  return RealSparse::fromTriplets(n, n, t);
+}
+
+RealSparse bandedMatrix(size_t n, int band) {
+  std::vector<Triplet<Real>> t;
+  for (int i = 0; i < static_cast<int>(n); ++i) {
+    for (int j = std::max(0, i - band);
+         j <= std::min(static_cast<int>(n) - 1, i + band); ++j) {
+      t.push_back({i, j, i == j ? 4.0 : -0.5});
+    }
+  }
+  return RealSparse::fromTriplets(n, n, t);
+}
+
+// Cycle ("ring") plus diagonal: minimum fill is n-3 edges; natural order
+// builds an arrow against the wrap-around link.
+RealSparse ringMatrix(size_t n) {
+  std::vector<Triplet<Real>> t;
+  for (int i = 0; i < static_cast<int>(n); ++i) {
+    const int next = (i + 1) % static_cast<int>(n);
+    t.push_back({i, i, 4.0});
+    t.push_back({i, next, -1.0});
+    t.push_back({next, i, -1.0});
+  }
+  return RealSparse::fromTriplets(n, n, t);
+}
+
+// 2D five-point grid: every interior column has the same count, so the
+// static degree sort degenerates to (nearly) the natural band order while
+// AMD finds a nested-dissection-like elimination.
+RealSparse gridMatrix(int k) {
+  const int n = k * k;
+  auto id = [&](int r, int c) { return r * k + c; };
+  std::vector<Triplet<Real>> t;
+  for (int r = 0; r < k; ++r) {
+    for (int c = 0; c < k; ++c) {
+      t.push_back({id(r, c), id(r, c), 4.0});
+      if (r + 1 < k) {
+        t.push_back({id(r, c), id(r + 1, c), -1.0});
+        t.push_back({id(r + 1, c), id(r, c), -1.0});
+      }
+      if (c + 1 < k) {
+        t.push_back({id(r, c), id(r, c + 1), -1.0});
+        t.push_back({id(r, c + 1), id(r, c), -1.0});
+      }
+    }
+  }
+  return RealSparse::fromTriplets(n, n, t);
+}
+
+TEST(AmdOrdering, ProducesValidPermutations) {
+  for (const auto& a :
+       {arrowMatrix(40), bandedMatrix(50, 3), ringMatrix(33), gridMatrix(7),
+        patternedRandom(64, 11, 0)}) {
+    expectValidPermutation(amdOrder(a.rows(), a.colPointers(), a.rowIndices()),
+                           a.rows());
+  }
+}
+
+TEST(AmdOrdering, HandlesDegenerateInputs) {
+  expectValidPermutation(amdOrder(0, std::vector<int>{0}, {}), 0);
+  // Diagonal-only matrix: every node is isolated.
+  std::vector<Triplet<Real>> t;
+  for (int i = 0; i < 5; ++i) t.push_back({i, i, 1.0});
+  const auto d = RealSparse::fromTriplets(5, 5, t);
+  expectValidPermutation(amdOrder(5, d.colPointers(), d.rowIndices()), 5);
+}
+
+TEST(AmdOrdering, ArrowMatrixEliminatesHubLast) {
+  const auto a = arrowMatrix(60);
+  const size_t amd = factorNnz(a, OrderingKind::kAmd);
+  // Hub last -> zero fill: nnz(L+U) equals nnz(A).
+  EXPECT_EQ(amd, a.nonZeros());
+  EXPECT_LE(amd, factorNnz(a, OrderingKind::kDegree));
+  EXPECT_LT(amd, factorNnz(a, OrderingKind::kNatural));
+}
+
+TEST(AmdOrdering, BandedMatrixStaysBanded) {
+  const auto a = bandedMatrix(64, 2);
+  const size_t amd = factorNnz(a, OrderingKind::kAmd);
+  EXPECT_LE(amd, factorNnz(a, OrderingKind::kDegree));
+  // The natural order is optimal on a band; AMD must not blow it up.
+  EXPECT_LE(amd, 2 * factorNnz(a, OrderingKind::kNatural));
+}
+
+TEST(AmdOrdering, RingMatrixMatchesMinimumFill) {
+  const size_t n = 48;
+  const auto a = ringMatrix(n);
+  const size_t amd = factorNnz(a, OrderingKind::kAmd);
+  EXPECT_LE(amd, factorNnz(a, OrderingKind::kDegree));
+  // Minimum fill of a cycle is n-3 edges (2 entries each in L+U).
+  EXPECT_LE(amd, a.nonZeros() + 2 * (n - 3));
+}
+
+TEST(AmdOrdering, GridBeatsStaticDegreeOrdering) {
+  const auto a = gridMatrix(12);  // 144 unknowns
+  EXPECT_LT(factorNnz(a, OrderingKind::kAmd),
+            factorNnz(a, OrderingKind::kDegree));
+}
+
+TEST(AmdOrdering, FactorSolvesAndRefactorsCorrectly) {
+  const size_t n = 50;
+  SparseLU<Real> lu(patternedRandom(n, 77, 0), 0.1, OrderingKind::kAmd);
+  for (uint64_t salt = 1; salt <= 3; ++salt) {
+    const auto a = patternedRandom(n, 77, salt);
+    ASSERT_TRUE(lu.refactor(a)) << "refactor after AMD ordering";
+    RealVector xTrue(n);
+    Rng rng(200 + salt);
+    for (auto& v : xTrue) v = rng.uniform(-2.0, 2.0);
+    const RealVector b = a.multiply(xTrue);
+    const RealVector x = lu.solve(b);
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xTrue[i], 1e-8);
+    // Transposed solve against the same AMD-ordered factorization.
+    const RealVector bt = [&] {
+      RealVector y(n, 0.0);
+      const auto ptr = a.colPointers();
+      const auto idx = a.rowIndices();
+      const auto val = a.values();
+      for (size_t j = 0; j < n; ++j) {
+        for (int p = ptr[j]; p < ptr[j + 1]; ++p) {
+          y[j] += val[p] * xTrue[idx[p]];  // y = A^T xTrue
+        }
+      }
+      return y;
+    }();
+    const RealVector xt = lu.solveTransposed(bt);
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(xt[i], xTrue[i], 1e-8);
+  }
+}
+
+TEST(AmdOrdering, ComplexFactorMatchesDense) {
+  const size_t n = 30;
+  const auto ar = patternedRandom(n, 55, 0);
+  std::vector<Triplet<Cplx>> t;
+  const auto ptr = ar.colPointers();
+  const auto idx = ar.rowIndices();
+  const auto val = ar.values();
+  for (int j = 0; j < static_cast<int>(n); ++j) {
+    for (int p = ptr[j]; p < ptr[j + 1]; ++p) {
+      t.push_back({idx[p], j, Cplx(val[p], idx[p] == j ? 0.3 : 0.1)});
+    }
+  }
+  const auto a = CplxSparse::fromTriplets(n, n, t);
+  SparseLU<Cplx> lu(a, 0.1, OrderingKind::kAmd);
+  CplxVector xTrue(n);
+  for (size_t i = 0; i < n; ++i) {
+    xTrue[i] = Cplx(std::sin(0.3 * static_cast<Real>(i)),
+                    std::cos(0.7 * static_cast<Real>(i)));
+  }
+  const CplxVector b = a.multiply(xTrue);
+  const CplxVector x = lu.solve(b);
+  for (size_t i = 0; i < n; ++i) EXPECT_LT(std::abs(x[i] - xTrue[i]), 1e-8);
 }
 
 TEST(DenseLu, MultiRhsSolveMatchesScatteredSolves) {
