@@ -183,11 +183,17 @@ int runSweep(const std::string& deckText, const ParsedCircuit& pc,
   return failures == results.size() ? 1 : 0;
 }
 
-int runCards(const ParsedCircuit& pc) {
+int runCards(const ParsedCircuit& pc, const RunnerArgs& args) {
   Netlist& nl = *pc.netlist;
   MnaSystem sys(nl);
   std::printf("%zu devices, %zu unknowns, %zu mismatch parameters\n\n",
               nl.devices().size(), sys.size(), nl.mismatchParams().size());
+
+  // --jobs also accelerates the card path: the .pnoise flow fans the PSS
+  // monodromy columns and the LPTV B_k/V_k recursions across this pool
+  // (results are bit-identical for every jobs count).
+  std::unique_ptr<ThreadPool> pool;
+  if (args.jobs != 1) pool = std::make_unique<ThreadPool>(args.jobs);
 
   Real pssPeriod = 0.0;
   for (const auto& card : pc.analyses) {
@@ -220,6 +226,8 @@ int runCards(const ParsedCircuit& pc) {
       const int outIdx = nl.nodeIndex(card.args[0]);
       MismatchAnalysisOptions opt;
       opt.pss.stepsPerPeriod = 500;
+      opt.pss.pool = pool.get();
+      opt.pnoise.pool = pool.get();
       TransientMismatchAnalysis an(sys, opt);
       an.runDriven(pssPeriod);
       const VariationResult dc = an.dcVariation(outIdx);
@@ -260,5 +268,5 @@ int main(int argc, char** argv) {
   ParsedCircuit pc = parseNetlistString(deckText);
   std::printf("title: %s\n", pc.title.c_str());
   if (args.sweepSamples > 0) return runSweep(deckText, pc, args);
-  return runCards(pc);
+  return runCards(pc, args);
 }

@@ -1,25 +1,39 @@
 #!/usr/bin/env python3
-"""Markdown link and anchor checker for README.md + docs/*.md.
+"""Markdown link, anchor, and symbol checker for README.md + docs/*.md.
 
 Pure stdlib (runs in CI with no installs). For every markdown file it
 verifies that
 
 * relative links (``[text](path)``, images included) resolve to a file
-  or directory that exists in the repository, and
+  or directory that exists in the repository,
 * anchor links (``#heading`` or ``path#heading``) name a real heading in
   the target file, using GitHub's slugification rules (lowercase, drop
-  punctuation, spaces to hyphens, ``-N`` suffixes for duplicates).
+  punctuation, spaces to hyphens, ``-N`` suffixes for duplicates), and
+* backtick code spans that *reference the code* still resolve:
+
+  - qualified identifiers (``TranOptions::pool``, ``SparseLU::refactor``,
+    ``PssResult::ordering``) — every ``::`` component must appear as a
+    word somewhere under ``src/``, so a rename breaks the docs job
+    instead of silently rotting the prose. A bracketed segment names an
+    optional infix covering two overload families at once:
+    ``solveTransposed[Many]InPlace`` checks both ``solveTransposedInPlace``
+    and ``solveTransposedManyInPlace``. ``std::``-qualified names are
+    skipped (the C++ standard library is not in ``src/``).
+  - repo paths (``src/runtime/``, ``scripts/check_bench_trend.py``,
+    ``src/numeric/ordering.*``) — must glob-resolve against the repo
+    root, like relative links.
 
 External ``http(s)://`` and ``mailto:`` targets are skipped — CI has no
 network, and flaky-URL failures would train everyone to ignore the job.
 Links inside fenced code blocks are ignored. Exit code 1 lists every
-broken link with its file and line.
+broken reference with its file and line.
 
 Usage:  python3 scripts/check_docs_links.py [file-or-dir ...]
         (defaults to README.md and docs/, relative to the repo root)
 """
 
 import argparse
+import glob as globmod
 import os
 import re
 import sys
@@ -27,6 +41,16 @@ import sys
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
 FENCE_RE = re.compile(r"^(```|~~~)")
+CODE_SPAN_RE = re.compile(r"`([^`]+)`")
+# Identifier::member chains (call args stripped before matching), with the
+# [optional-infix] overload convention (see the module docstring).
+QUALIFIED_RE = re.compile(
+    r"^~?[A-Za-z_][A-Za-z0-9_]*"
+    r"(::~?[A-Za-z_][A-Za-z0-9_]*(\[[A-Za-z0-9_]+\])?[A-Za-z0-9_]*)+$")
+# Repo paths inside code spans: first segment must be a tracked top-level
+# directory (bare filenames and flag-looking spans are not checked).
+PATH_SPAN_RE = re.compile(r"^[A-Za-z0-9_.*/-]+$")
+PATH_TOP_DIRS = ("src", "docs", "scripts", "tests", "bench", "examples")
 EXTERNAL = ("http://", "https://", "mailto:")
 
 
@@ -77,6 +101,87 @@ def collect_links(path):
     return links
 
 
+def collect_code_spans(path):
+    spans = []
+    with open(path, encoding="utf-8") as f:
+        for no, line in strip_fences(f.read().splitlines()):
+            for m in CODE_SPAN_RE.finditer(line):
+                spans.append((no, m.group(1)))
+    return spans
+
+
+class SourceIndex:
+    """Word lookup over everything under src/ (lazy, cached)."""
+
+    def __init__(self, repo_root):
+        self.repo_root = repo_root
+        self._corpus = None
+        self._words = {}
+
+    def _load(self):
+        if self._corpus is not None:
+            return
+        texts = []
+        for dirpath, _, names in os.walk(os.path.join(self.repo_root, "src")):
+            for name in sorted(names):
+                if name.endswith((".hpp", ".cpp", ".h")):
+                    with open(os.path.join(dirpath, name),
+                              encoding="utf-8") as f:
+                        texts.append(f.read())
+        self._corpus = "\n".join(texts)
+
+    def has_word(self, word):
+        if word not in self._words:
+            self._load()
+            self._words[word] = re.search(
+                r"\b" + re.escape(word) + r"\b", self._corpus) is not None
+        return self._words[word]
+
+
+def expand_optional_infix(component):
+    """`solve[Many]InPlace` -> [solveInPlace, solveManyInPlace]."""
+    m = re.match(r"^([A-Za-z0-9_~]*)\[([A-Za-z0-9_]+)\]([A-Za-z0-9_]*)$",
+                 component)
+    if not m:
+        return [component]
+    head, opt, tail = m.groups()
+    return [head + tail, head + opt + tail]
+
+
+def is_symbol_span(span):
+    """True when the span is a checkable `Identifier::member` reference."""
+    if span.startswith("std::") or "::" not in span:
+        return False
+    return QUALIFIED_RE.match(span.split("(", 1)[0]) is not None
+
+
+def check_symbol_span(span, index):
+    """Returns a list of unresolved components of a qualified-id span
+    (empty = resolves or span is not a symbol reference)."""
+    if not is_symbol_span(span):
+        return []
+    missing = []
+    for component in span.split("(", 1)[0].split("::"):
+        for variant in expand_optional_infix(component.lstrip("~")):
+            if variant and not index.has_word(variant):
+                missing.append(variant)
+    return missing
+
+
+def check_path_span(span, repo_root):
+    """Returns an error string for a repo-path-looking span that does not
+    glob-resolve, or None."""
+    if "/" not in span or not PATH_SPAN_RE.match(span):
+        return None
+    first = span.split("/", 1)[0]
+    if first not in PATH_TOP_DIRS:
+        return None
+    target = span.rstrip("/")
+    if globmod.glob(os.path.join(repo_root, target)):
+        return None
+    return f"no file matches '{span}'"
+
+
 def expand_targets(args, repo_root):
     targets = args or ["README.md", "docs"]
     files = []
@@ -97,12 +202,15 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("targets", nargs="*",
                     help="markdown files or directories (default: README.md docs/)")
+    ap.add_argument("--no-symbols", action="store_true",
+                    help="skip the backtick symbol/path resolution check")
     args = ap.parse_args()
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     files = expand_targets(args.targets, repo_root)
 
     anchor_cache = {}
+    src_index = SourceIndex(repo_root)
 
     def anchors_of(path):
         if path not in anchor_cache:
@@ -111,6 +219,7 @@ def main():
 
     errors = []
     checked = 0
+    symbols_checked = 0
     for md in files:
         base = os.path.dirname(md)
         rel_md = os.path.relpath(md, repo_root)
@@ -136,10 +245,28 @@ def main():
                                   f"'{target}' (no heading slugs to "
                                   f"'#{anchor}' in "
                                   f"{os.path.relpath(dest, repo_root)})")
+        if args.no_symbols:
+            continue
+        for lineno, span in collect_code_spans(md):
+            missing = check_symbol_span(span, src_index)
+            if is_symbol_span(span):
+                symbols_checked += 1
+            if missing:
+                errors.append(f"{rel_md}:{lineno}: stale symbol reference "
+                              f"'`{span}`' ({', '.join(missing)} not found "
+                              f"in src/)")
+                continue
+            path_err = check_path_span(span, repo_root)
+            if path_err:
+                errors.append(f"{rel_md}:{lineno}: stale path reference "
+                              f"'`{span}`' ({path_err})")
+            elif "/" in span and span.split("/", 1)[0] in PATH_TOP_DIRS:
+                symbols_checked += 1
 
     for e in errors:
         print(e, file=sys.stderr)
-    print(f"{len(files)} files, {checked} internal links checked, "
+    print(f"{len(files)} files, {checked} internal links and "
+          f"{symbols_checked} code references checked, "
           f"{len(errors)} broken")
     return 1 if errors else 0
 

@@ -118,11 +118,9 @@ TransientSensitivityResult runTransientSensitivity(
   // carries private stamp/solve scratch. Chunk boundaries depend only on
   // (ns, slots), and each column's arithmetic is identical however the
   // block is chunked, so results are bit-identical for every jobs count.
-  const size_t slots =
-      (opt.pool != nullptr && ns > 1) ? opt.pool->jobCount() : 1;
+  const size_t slots = columnBlockSlots(opt.pool, ns);
   std::vector<SensSlotScratch> slotScratch(slots);
   for (auto& sl : slotScratch) sl.c0s.resize(n);
-  const size_t chunk = (ns + slots - 1) / std::max<size_t>(slots, 1);
   const auto updateColumns = [&](size_t i0, size_t i1, size_t slot) {
     SensSlotScratch& sl = slotScratch[slot];
     for (size_t i = i0; i < i1; ++i) {
@@ -175,13 +173,7 @@ TransientSensitivityResult runTransientSensitivity(
       // multi-RHS substitutions for all ns injection columns — fanned
       // across the pool's slots when the caller supplied one.
       hCur = h;
-      if (ns > 0) {
-        if (slots > 1) {
-          opt.pool->parallelFor(ns, chunk, updateColumns);
-        } else {
-          updateColumns(0, ns, 0);
-        }
-      }
+      forEachColumnBlock(opt.pool, ns, updateColumns);
       if (ws.sparse) cPrevSp = ws.csp;
       else cPrevDn = ws.c;
       result.times.push_back(t);

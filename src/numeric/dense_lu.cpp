@@ -90,10 +90,17 @@ std::vector<T> DenseLU<T>::solve(std::span<const T> b) const {
 
 template <class T>
 void DenseLU<T>::solveTransposedInPlace(std::span<T> b) const {
+  solveTransposedInPlace(b, scratch_);
+}
+
+template <class T>
+void DenseLU<T>::solveTransposedInPlace(std::span<T> b,
+                                        LuSolveScratch<T>& scratch) const {
   // A = P^T L U  =>  A^T x = b  <=>  U^T L^T P x = b.
   const size_t n = size();
   PSMN_CHECK(b.size() == n, "LU solveT: rhs size mismatch");
-  std::vector<T> x(b.begin(), b.end());
+  std::vector<T>& x = scratch.x;
+  x.assign(b.begin(), b.end());
   // Solve U^T y = b (U^T is lower triangular).
   for (size_t i = 0; i < n; ++i) {
     T acc = x[i];
@@ -143,6 +150,22 @@ void DenseLU<T>::solveManyInPlace(std::span<T> b, size_t nrhs,
   PSMN_CHECK(b.size() == n * nrhs, "LU solve: rhs block size mismatch");
   for (size_t r = 0; r < nrhs; ++r) {
     solveInPlace(b.subspan(r * n, n), scratch);
+  }
+}
+
+template <class T>
+void DenseLU<T>::solveTransposedManyInPlace(std::span<T> b,
+                                            size_t nrhs) const {
+  solveTransposedManyInPlace(b, nrhs, scratch_);
+}
+
+template <class T>
+void DenseLU<T>::solveTransposedManyInPlace(std::span<T> b, size_t nrhs,
+                                            LuSolveScratch<T>& scratch) const {
+  const size_t n = size();
+  PSMN_CHECK(b.size() == n * nrhs, "LU solveT: rhs block size mismatch");
+  for (size_t r = 0; r < nrhs; ++r) {
+    solveTransposedInPlace(b.subspan(r * n, n), scratch);
   }
 }
 

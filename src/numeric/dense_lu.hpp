@@ -34,6 +34,15 @@ class DenseLU {
   /// conjugate the RHS and the result to get an A^H solve).
   std::vector<T> solveTransposed(std::span<const T> b) const;
   void solveTransposedInPlace(std::span<T> b) const;
+  /// Concurrently callable variant (see solveInPlace above).
+  void solveTransposedInPlace(std::span<T> b, LuSolveScratch<T>& scratch) const;
+
+  /// Batched transposed solve, column-major like solveManyInPlace (mirrors
+  /// SparseLU::solveTransposedManyInPlace for backend switching).
+  void solveTransposedManyInPlace(std::span<T> b, size_t nrhs) const;
+  /// Concurrently callable variant (see solveInPlace above).
+  void solveTransposedManyInPlace(std::span<T> b, size_t nrhs,
+                                  LuSolveScratch<T>& scratch) const;
 
   /// Solves A X = B for a full matrix of right-hand sides.
   Matrix<T> solveMatrix(const Matrix<T>& b) const;

@@ -323,13 +323,19 @@ void SparseLU<T>::solveManyInPlace(std::span<T> b, size_t nrhs,
 
 template <class T>
 void SparseLU<T>::solveTransposedInPlace(std::span<T> b) const {
+  solveTransposedInPlace(b, scratch_);
+}
+
+template <class T>
+void SparseLU<T>::solveTransposedInPlace(std::span<T> b,
+                                         LuSolveScratch<T>& scratch) const {
   PSMN_CHECK(b.size() == n_, "sparse LU solveT: rhs size mismatch");
   PSMN_CHECK(valid_, "sparse LU solveT: not factored");
   // With A^{-1} = Q U^{-1} L^{-1} P (see solveInPlace), the transposed
   // solve is A^{-T} = P^T L^{-T} U^{-T} Q^T. Both triangular passes turn
   // into gathers over the stored CSC columns: a column of U (resp. L) is a
   // row of U^T (resp. L^T), so no scatter scratch is needed.
-  std::vector<T>& solveX_ = scratch_.x;
+  std::vector<T>& solveX_ = scratch.x;
   solveX_.resize(n_);
   for (size_t t = 0; t < n_; ++t) solveX_[t] = b[colOrder_[t]];
   // Forward solve U^T w = z: column t of U holds U(t', t), t' < t, with the
@@ -354,15 +360,21 @@ void SparseLU<T>::solveTransposedInPlace(std::span<T> b) const {
 
 template <class T>
 void SparseLU<T>::solveTransposedManyInPlace(std::span<T> b, size_t nrhs) const {
+  solveTransposedManyInPlace(b, nrhs, scratch_);
+}
+
+template <class T>
+void SparseLU<T>::solveTransposedManyInPlace(std::span<T> b, size_t nrhs,
+                                             LuSolveScratch<T>& scratch) const {
   PSMN_CHECK(b.size() == n_ * nrhs,
              "sparse LU solveT: rhs block size mismatch");
   PSMN_CHECK(valid_, "sparse LU solveT: not factored");
   if (nrhs == 0) return;
   if (nrhs == 1) {
-    solveTransposedInPlace(b);
+    solveTransposedInPlace(b, scratch);
     return;
   }
-  std::vector<T>& solveX_ = scratch_.x;
+  std::vector<T>& solveX_ = scratch.x;
   solveX_.resize(n_ * nrhs);
   T* x = solveX_.data();
   for (size_t t = 0; t < n_; ++t) {

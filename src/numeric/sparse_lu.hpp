@@ -81,9 +81,15 @@ class SparseLU {
   /// instead of scattering, so it reuses the same stored L/U pattern.
   std::vector<T> solveTransposed(std::span<const T> b) const;
   void solveTransposedInPlace(std::span<T> b) const;
+  /// Concurrently callable variant (see solveInPlace above).
+  void solveTransposedInPlace(std::span<T> b, LuSolveScratch<T>& scratch) const;
 
   /// Batched transposed solve, column-major like solveManyInPlace.
   void solveTransposedManyInPlace(std::span<T> b, size_t nrhs) const;
+  /// Concurrently callable variant; chunking a column block across threads
+  /// is bit-identical to one batched call, like solveManyInPlace.
+  void solveTransposedManyInPlace(std::span<T> b, size_t nrhs,
+                                  LuSolveScratch<T>& scratch) const;
 
   size_t size() const { return n_; }
   bool factored() const { return n_ > 0 && valid_; }

@@ -5,11 +5,20 @@
 
 #include "numeric/dense_lu.hpp"
 #include "numeric/sparse_lu.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace psmn {
 namespace {
 
 constexpr Real kTwoPi = 2.0 * std::numbers::pi_v<Real>;
+
+/// Per-slot scratch for the column-partitioned B_k / V_k recursions: at
+/// most one column block runs per slot at a time (ThreadPool contract), so
+/// the coupling vectors and the LU solve scratch need no locking.
+struct LptvSlotScratch {
+  CplxVector col, dv;
+  LuSolveScratch<Cplx> lu;
+};
 
 CplxMatrix stepMatrix(const RealMatrix& g, const RealMatrix& c, Real invH,
                       Cplx jw) {
@@ -134,20 +143,27 @@ class StepFactors {
     if (sparse_) lus_[k - 1].solveManyInPlace(b, nrhs);
     else dense_[k - 1].solveManyInPlace(b, nrhs);
   }
+  /// Concurrently callable variant: threads sharing step factor k solve
+  /// disjoint column blocks, one scratch per slot.
+  void solveManyInPlace(size_t k, std::span<Cplx> b, size_t nrhs,
+                        LuSolveScratch<Cplx>& scratch) const {
+    if (sparse_) lus_[k - 1].solveManyInPlace(b, nrhs, scratch);
+    else dense_[k - 1].solveManyInPlace(b, nrhs, scratch);
+  }
   void solveTransposedInPlace(size_t k, std::span<Cplx> b) const {
     if (sparse_) lus_[k - 1].solveTransposedInPlace(b);
     else dense_[k - 1].solveTransposedInPlace(b);
   }
   void solveTransposedManyInPlace(size_t k, std::span<Cplx> b,
                                   size_t nrhs) const {
-    if (sparse_) {
-      lus_[k - 1].solveTransposedManyInPlace(b, nrhs);
-    } else {
-      const size_t n = dense_[k - 1].size();
-      for (size_t r = 0; r < nrhs; ++r) {
-        dense_[k - 1].solveTransposedInPlace(b.subspan(r * n, n));
-      }
-    }
+    if (sparse_) lus_[k - 1].solveTransposedManyInPlace(b, nrhs);
+    else dense_[k - 1].solveTransposedManyInPlace(b, nrhs);
+  }
+  /// Concurrently callable variant (see solveManyInPlace above).
+  void solveTransposedManyInPlace(size_t k, std::span<Cplx> b, size_t nrhs,
+                                  LuSolveScratch<Cplx>& scratch) const {
+    if (sparse_) lus_[k - 1].solveTransposedManyInPlace(b, nrhs, scratch);
+    else dense_[k - 1].solveTransposedManyInPlace(b, nrhs, scratch);
   }
 
  private:
@@ -251,8 +267,9 @@ Cplx LptvSolution::harmonic(size_t sourceIdx, int outIndex, int n) const {
   return acc / static_cast<Real>(m);
 }
 
-LptvSolver::LptvSolver(const MnaSystem& sys, const PssResult& pss)
-    : sys_(&sys), pss_(&pss) {
+LptvSolver::LptvSolver(const MnaSystem& sys, const PssResult& pss,
+                       LptvOptions opt)
+    : sys_(&sys), pss_(&pss), opt_(opt) {
   PSMN_CHECK(pss.stepCount() > 0, "empty PSS result");
   const size_t stored = pss.sparseLinearizations ? pss.gSpMats.size()
                                                  : pss.gMats.size();
@@ -306,8 +323,33 @@ LptvSolution LptvSolver::solveDirect(std::span<const InjectionSource> sources,
   //   alpha_k = K_k^{-1}(D_k alpha_{k-1} + b_k),  B_k = K_k^{-1} D_k B_{k-1}.
   CplxMatrix bMat = CplxMatrix::identity(n);
   std::vector<CplxVector> alpha(ns, CplxVector(n, Cplx{}));
-  CplxVector dv(n), col(n);
+  CplxVector dv(n);
   CplxVector colBuf(n * n);  // column-major block for the batched B update
+  // Column fan-out for the B recursion: column j of B_k depends only on
+  // column j of B_{k-1}, so the coupling, the batched substitution, and
+  // the write-back partition into per-slot blocks with bit-identical
+  // results for every jobs count (serial = one block).
+  ThreadPool* pool = opt_.pool;
+  const size_t slots = columnBlockSlots(pool, n);
+  std::vector<LptvSlotScratch> slotScratch(slots);
+  const auto updateBColumns = [&](size_t k, size_t j0, size_t j1,
+                                  size_t slot) {
+    LptvSlotScratch& sl = slotScratch[slot];
+    sl.col.resize(n);
+    for (size_t j = j0; j < j1; ++j) {
+      for (size_t i = 0; i < n; ++i) sl.col[i] = bMat(i, j);
+      applyD(*pss_, k, sl.col, sl.dv, invH);
+      std::copy(sl.dv.begin(), sl.dv.end(), colBuf.begin() + j * n);
+    }
+    lus.solveManyInPlace(k,
+                         std::span<Cplx>(colBuf.data() + j0 * n,
+                                         (j1 - j0) * n),
+                         j1 - j0, sl.lu);
+    // Safe in-body write-back: no other block reads these columns.
+    for (size_t j = j0; j < j1; ++j) {
+      for (size_t i = 0; i < n; ++i) bMat(i, j) = colBuf[j * n + i];
+    }
+  };
   for (size_t k = 1; k <= m; ++k) {
     for (size_t s = 0; s < ns; ++s) {
       applyD(*pss_, k, alpha[s], dv, invH);
@@ -315,16 +357,10 @@ LptvSolution LptvSolver::solveDirect(std::span<const InjectionSource> sources,
       lus.solveInPlace(k, dv);
       alpha[s].assign(dv.begin(), dv.end());
     }
-    // B update: all n columns in one batched substitution.
-    for (size_t j = 0; j < n; ++j) {
-      for (size_t i = 0; i < n; ++i) col[i] = bMat(i, j);
-      applyD(*pss_, k, col, dv, invH);
-      std::copy(dv.begin(), dv.end(), colBuf.begin() + j * n);
-    }
-    lus.solveManyInPlace(k, colBuf, n);
-    for (size_t j = 0; j < n; ++j) {
-      for (size_t i = 0; i < n; ++i) bMat(i, j) = colBuf[j * n + i];
-    }
+    forEachColumnBlock(pool, n,
+                       [&](size_t j0, size_t j1, size_t slot) {
+                         updateBColumns(k, j0, j1, slot);
+                       });
   }
 
   // Cyclic closure: (I - B_M) p_0 = alpha_M, with the phase-mode spectral
@@ -382,8 +418,31 @@ CplxVector LptvSolver::solveAdjoint(std::span<const InjectionSource> sources,
   // u_k and V_k, stored for k=1..M.
   std::vector<CplxVector> u(m + 1, CplxVector(n, Cplx{}));
   std::vector<CplxMatrix> vMat(m + 1);
-  CplxVector tmp(n), col(n);
+  CplxVector tmp(n);
   CplxVector colBuf(n * n);
+  // Column fan-out for the V recursion, mirroring solveDirect's B update:
+  // column j of V_k depends only on column j of V_{k+1}.
+  ThreadPool* pool = opt_.pool;
+  const size_t slots = columnBlockSlots(pool, n);
+  std::vector<LptvSlotScratch> slotScratch(slots);
+  const auto updateVColumns = [&](size_t k, const CplxMatrix& vNext,
+                                  CplxMatrix& vOut, size_t j0, size_t j1,
+                                  size_t slot) {
+    LptvSlotScratch& sl = slotScratch[slot];
+    sl.col.resize(n);
+    for (size_t j = j0; j < j1; ++j) {
+      for (size_t i = 0; i < n; ++i) sl.col[i] = vNext(i, j);
+      applyDT(*pss_, k + 1, sl.col, sl.dv, invH);
+      std::copy(sl.dv.begin(), sl.dv.end(), colBuf.begin() + j * n);
+    }
+    lus.solveTransposedManyInPlace(k,
+                                   std::span<Cplx>(colBuf.data() + j0 * n,
+                                                   (j1 - j0) * n),
+                                   j1 - j0, sl.lu);
+    for (size_t j = j0; j < j1; ++j) {
+      for (size_t i = 0; i < n; ++i) vOut(i, j) = colBuf[j * n + i];
+    }
+  };
   // k = M:
   {
     CplxVector rhs(n, Cplx{});
@@ -393,6 +452,8 @@ CplxVector LptvSolver::solveAdjoint(std::span<const InjectionSource> sources,
     // V_M = K_M^{-T} D_1^T. Column j of D_1^T is row j of D_1 = C_0/h;
     // the sparse storage fills the whole column-major block in one CSC
     // sweep: entry C_0(r, c) lands at block position (row c, column r).
+    // The assembly scatters across columns, so it stays serial; the
+    // transposed substitution partitions per column block.
     std::fill(colBuf.begin(), colBuf.end(), Cplx{});
     if (pss_->sparseLinearizations) {
       const RealSparse& c0 = pss_->cSpMats[0];
@@ -411,11 +472,17 @@ CplxVector LptvSolver::solveAdjoint(std::span<const InjectionSource> sources,
         }
       }
     }
-    lus.solveTransposedManyInPlace(m, colBuf, n);
     CplxMatrix vm(n, n);
-    for (size_t j = 0; j < n; ++j) {
-      for (size_t i = 0; i < n; ++i) vm(i, j) = colBuf[j * n + i];
-    }
+    forEachColumnBlock(
+        pool, n, [&](size_t j0, size_t j1, size_t slot) {
+          lus.solveTransposedManyInPlace(
+              m,
+              std::span<Cplx>(colBuf.data() + j0 * n, (j1 - j0) * n),
+              j1 - j0, slotScratch[slot].lu);
+          for (size_t j = j0; j < j1; ++j) {
+            for (size_t i = 0; i < n; ++i) vm(i, j) = colBuf[j * n + i];
+          }
+        });
     vMat[m] = std::move(vm);
   }
   for (size_t k = m - 1; k >= 1; --k) {
@@ -424,17 +491,13 @@ CplxVector LptvSolver::solveAdjoint(std::span<const InjectionSource> sources,
     tmp[outIndex] += weight(k);
     lus.solveTransposedInPlace(k, tmp);
     u[k].assign(tmp.begin(), tmp.end());
-    // V_k = K_k^{-T} D_{k+1}^T V_{k+1}, batched over all n columns.
-    for (size_t j = 0; j < n; ++j) {
-      for (size_t i = 0; i < n; ++i) col[i] = vMat[k + 1](i, j);
-      applyDT(*pss_, k + 1, col, tmp, invH);
-      std::copy(tmp.begin(), tmp.end(), colBuf.begin() + j * n);
-    }
-    lus.solveTransposedManyInPlace(k, colBuf, n);
+    // V_k = K_k^{-T} D_{k+1}^T V_{k+1}, batched over per-slot column
+    // blocks.
     CplxMatrix vk(n, n);
-    for (size_t j = 0; j < n; ++j) {
-      for (size_t i = 0; i < n; ++i) vk(i, j) = colBuf[j * n + i];
-    }
+    forEachColumnBlock(pool, n,
+                       [&](size_t j0, size_t j1, size_t slot) {
+                         updateVColumns(k, vMat[k + 1], vk, j0, j1, slot);
+                       });
     vMat[k] = std::move(vk);
   }
   // Close: (I - V_1) l_1 = u_1. The adjoint closure matrix V_1 is a cyclic

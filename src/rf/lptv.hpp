@@ -23,6 +23,17 @@
 
 namespace psmn {
 
+struct LptvOptions {
+  /// Optional execution runtime. The homogeneous (B_k) and adjoint (V_k)
+  /// matrix recursions partition their n right-hand-side columns across
+  /// this pool's slots against the shared step factors — every column's
+  /// arithmetic involves only that column, so results are bit-identical
+  /// for every jobs count (docs/architecture.md "RF parallelism"). The
+  /// per-source envelope recursions stay serial: they are sequential in k
+  /// and cheap next to the n-column blocks.
+  ThreadPool* pool = nullptr;
+};
+
 /// Periodic complex envelopes p_k, k = 0..M-1, one per source.
 struct LptvSolution {
   Real omega = 0.0;
@@ -36,7 +47,8 @@ struct LptvSolution {
 
 class LptvSolver {
  public:
-  LptvSolver(const MnaSystem& sys, const PssResult& pss);
+  LptvSolver(const MnaSystem& sys, const PssResult& pss,
+             LptvOptions opt = {});
 
   /// Direct method: envelopes for all sources at offset frequency f (Hz).
   LptvSolution solveDirect(std::span<const InjectionSource> sources,
@@ -57,6 +69,7 @@ class LptvSolver {
  private:
   const MnaSystem* sys_;
   const PssResult* pss_;
+  LptvOptions opt_;
 };
 
 }  // namespace psmn

@@ -15,7 +15,7 @@ PnoiseAnalysis::PnoiseAnalysis(const MnaSystem& sys, const PssResult& pss,
       pss_(&pss),
       opt_(opt),
       sources_(std::move(sources)),
-      solver_(sys, pss) {
+      solver_(sys, pss, LptvOptions{opt.pool}) {
   PSMN_CHECK(opt_.offsetFreq > 0.0, "offset frequency must be positive");
   PSMN_CHECK(!sources_.empty(), "no injection sources");
   const Real f0 = 1.0 / pss.period;

@@ -22,6 +22,10 @@ struct PnoiseOptions {
   Real offsetFreq = 1.0;        // Hz; must be << f0
   bool includeMismatch = true;  // pseudo-noise sources from device mismatch
   bool includePhysical = false; // thermal/flicker device noise
+  /// Optional execution runtime, forwarded to the LPTV solver
+  /// (LptvOptions::pool): the B_k/V_k matrix recursions fan their column
+  /// blocks across the pool with bit-identical results.
+  ThreadPool* pool = nullptr;
 };
 
 /// Per-(output, sideband) noise readout.

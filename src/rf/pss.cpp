@@ -8,6 +8,7 @@
 #include "meas/measure.hpp"
 #include "numeric/dense_lu.hpp"
 #include "numeric/fourier.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace psmn {
 namespace {
@@ -50,38 +51,63 @@ struct PeriodIntegration {
 /// Propagates the monodromy through one accepted step:
 ///   Phi <- J_k^{-1} (C_{k-1}/h) Phi
 /// against the factorization the Newton kernel just produced (no extra
-/// evaluation or factorization). The sparse backend assembles the n-column
-/// right-hand-side block with one CSC sweep of C_{k-1} and solves all
-/// columns in a single batched substitution.
-void propagateMonodromy(PssWorkspace& pw, RealMatrix& phi, Real h) {
+/// evaluation or factorization). Both backends assemble the n-column
+/// right-hand-side block column-major in pw.rhsBuf and run the batched
+/// accepted-step substitution. With a pool the columns fan out into
+/// per-slot blocks: column j's assembly reads only Phi column j, its
+/// triangular solve touches only RHS column j, and the write-back lands
+/// only in Phi column j — so every partition computes the same bits as
+/// the serial batched call (one LuSolveScratch per slot, ThreadPool's
+/// at-most-one-chunk-per-slot contract).
+void propagateMonodromy(PssWorkspace& pw, RealMatrix& phi, Real h,
+                        ThreadPool* pool) {
   const size_t n = phi.rows();
   const TransientWorkspace& ws = pw.tran;
-  if (ws.sparse) {
-    pw.rhsBuf.resize(n * n);
-    std::fill(pw.rhsBuf.begin(), pw.rhsBuf.end(), 0.0);
-    const auto ptr = pw.cPrevSparse.colPointers();
-    const auto idx = pw.cPrevSparse.rowIndices();
-    const auto val = pw.cPrevSparse.values();
-    for (size_t col = 0; col < n; ++col) {
-      // rhs(r, j) += C(r, col)/h * Phi(col, j): Phi row `col` is contiguous
-      // (row-major); the destination walks column-major with stride n.
-      const Real* src = phi.data() + col * n;
-      for (int p = ptr[col]; p < ptr[col + 1]; ++p) {
-        const Real v = val[p] / h;
-        if (v == 0.0) continue;
-        Real* dst = pw.rhsBuf.data() + idx[p];
-        for (size_t j = 0; j < n; ++j) dst[j * n] += v * src[j];
+  const Real invH = 1.0 / h;
+  pw.rhsBuf.resize(n * n);
+  const size_t slots = columnBlockSlots(pool, n);
+  if (pw.solveScratch.size() < slots) pw.solveScratch.resize(slots);
+
+  const auto processColumns = [&](size_t j0, size_t j1, size_t slot) {
+    Real* buf = pw.rhsBuf.data();
+    if (ws.sparse) {
+      const auto ptr = pw.cPrevSparse.colPointers();
+      const auto idx = pw.cPrevSparse.rowIndices();
+      const auto val = pw.cPrevSparse.values();
+      for (size_t j = j0; j < j1; ++j) {
+        // rhs(r, j) = sum_col C(r, col)/h * Phi(col, j): one CSC sweep of
+        // C_{k-1} scattered into this block's column.
+        Real* dst = buf + j * n;
+        std::fill(dst, dst + n, 0.0);
+        for (size_t col = 0; col < n; ++col) {
+          const Real xj = phi(col, j);
+          if (xj == 0.0) continue;
+          for (int p = ptr[col]; p < ptr[col + 1]; ++p) {
+            dst[idx[p]] += val[p] * invH * xj;
+          }
+        }
+      }
+    } else {
+      for (size_t j = j0; j < j1; ++j) {
+        Real* dst = buf + j * n;
+        for (size_t i = 0; i < n; ++i) {
+          Real acc = 0.0;
+          const auto row = pw.cPrevDense.row(i);
+          for (size_t col = 0; col < n; ++col) acc += row[col] * phi(col, j);
+          dst[i] = acc * invH;
+        }
       }
     }
-    ws.slu.solveManyInPlace(pw.rhsBuf, n);
-    for (size_t j = 0; j < n; ++j) {
-      for (size_t i = 0; i < n; ++i) phi(i, j) = pw.rhsBuf[j * n + i];
+    ws.solveAcceptedInPlace(
+        std::span<Real>(buf + j0 * n, (j1 - j0) * n), j1 - j0,
+        pw.solveScratch[slot]);
+    // Safe in-body write-back: no other block ever reads these columns.
+    for (size_t j = j0; j < j1; ++j) {
+      for (size_t i = 0; i < n; ++i) phi(i, j) = buf[j * n + i];
     }
-  } else {
-    RealMatrix rhs = matmul(pw.cPrevDense, phi);
-    rhs *= 1.0 / h;
-    phi = ws.dlu.solveMatrix(rhs);
-  }
+  };
+
+  forEachColumnBlock(pool, n, processColumns);
 }
 
 /// Integrates one period from x0, optionally accumulating the monodromy
@@ -139,7 +165,7 @@ PeriodIntegration integratePeriod(const MnaSystem& sys, const RealVector& x0,
                              std::to_string(k));
     }
     if (wantMonodromy) {
-      propagateMonodromy(pw, out.monodromy, h);
+      propagateMonodromy(pw, out.monodromy, h, opt.pool);
       if (ws.sparse) pw.cPrevSparse = ws.csp;
       else pw.cPrevDense = ws.c;
     }
@@ -215,6 +241,16 @@ void integratePeriodInPlace(const MnaSystem& sys, RealVector& x, Real t0,
                              std::to_string(k));
     }
   }
+}
+
+RealMatrix integrateMonodromy(const MnaSystem& sys, RealVector& x, Real t0,
+                              Real period, int steps, const PssOptions& opt,
+                              PssWorkspace& ws) {
+  PeriodIntegration pi =
+      integratePeriod(sys, x, t0, period, steps, opt,
+                      /*wantMonodromy=*/true, /*wantTrajectory=*/false, ws);
+  x = std::move(pi.xEnd);
+  return std::move(pi.monodromy);
 }
 
 RealVector PssResult::waveform(int mnaIndex) const {

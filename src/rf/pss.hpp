@@ -46,6 +46,13 @@ struct PssOptions {
   /// this solve: the period integration, and — via PssResult::ordering —
   /// the LPTV step factors, pnoise, and the PPV backward sweep.
   OrderingKind ordering = OrderingKind::kAmd;
+  /// Optional execution runtime. The monodromy propagation partitions its
+  /// n right-hand-side columns across this pool's slots against the shared
+  /// accepted-step factorization (every column's arithmetic involves only
+  /// that column, so results are bit-identical for every jobs count — see
+  /// docs/architecture.md "RF parallelism"). The period integration itself
+  /// stays serial: a single Newton path has no column parallelism.
+  ThreadPool* pool = nullptr;
 };
 
 /// Reusable solver state for the shooting engines: the transient workspace
@@ -58,9 +65,11 @@ struct PssOptions {
 struct PssWorkspace {
   TransientWorkspace tran;
   RealVector q, qd;        // charge state for the BE stepping kernel
-  // Monodromy propagation scratch (sparse backend): n*n column-major
-  // right-hand-side block for the batched accepted-step solve.
+  // Monodromy propagation scratch: n*n column-major right-hand-side block
+  // for the batched accepted-step solve (both backends), plus one LU solve
+  // scratch per pool slot for the column-partitioned fan-out.
   RealVector rhsBuf;
+  std::vector<LuSolveScratch<Real>> solveScratch;
   RealMatrix cPrevDense;   // C at the previous grid point
   RealSparse cPrevSparse;
 };
@@ -135,6 +144,14 @@ RealVector pssWarmup(const MnaSystem& sys, Real period, int cycles,
 void integratePeriodInPlace(const MnaSystem& sys, RealVector& x, Real t0,
                             Real period, int steps, const PssOptions& opt,
                             PssWorkspace& ws, size_t* newtonCount = nullptr);
+
+/// Integrates one period like integratePeriodInPlace and additionally
+/// accumulates the monodromy Phi = prod_k J_k^{-1} (C_{k-1}/h) — the
+/// shooting-Jacobian building block, exposed for the parallel-monodromy
+/// benches and goldens (`opt.pool` fans the column blocks out).
+RealMatrix integrateMonodromy(const MnaSystem& sys, RealVector& x, Real t0,
+                              Real period, int steps, const PssOptions& opt,
+                              PssWorkspace& ws);
 
 /// Kicks a ring oscillator from its (metastable) DC point, free-runs it to
 /// the limit cycle with backward Euler, and returns the warm state plus a

@@ -5,14 +5,26 @@
 namespace psmn {
 namespace {
 
-/// Shared state of one parallelFor invocation. Drivers (queued tasks plus
-/// the calling thread) pull chunks from `next` until exhausted; the last
-/// driver to retire signals completion.
+/// Shared state of one work-stealing parallelFor invocation. The chunk
+/// indices are block-partitioned across per-slot deques before any driver
+/// starts; drivers (queued tasks plus the calling thread) drain their own
+/// deque from the front and steal from the back of the others when dry.
+/// The last driver to retire signals completion.
 struct LoopState {
   size_t n = 0;
   size_t chunk = 0;
   const std::function<void(size_t, size_t, size_t)>* body = nullptr;
-  std::atomic<size_t> next{0};
+
+  /// One deque of pending chunk indices per driver, each with its own
+  /// lock. Chunks are coarse (a scenario, a column block), so a mutex per
+  /// deque costs nothing measurable next to the chunk bodies and keeps the
+  /// push/pop/steal protocol obviously correct.
+  struct Slot {
+    std::mutex mutex;
+    std::deque<size_t> chunks;
+  };
+  std::vector<Slot> slots;
+
   std::atomic<size_t> activeDrivers{0};
   std::mutex mutex;
   std::condition_variable done;
@@ -20,16 +32,43 @@ struct LoopState {
   size_t failedChunk = SIZE_MAX;
   std::exception_ptr error;
 
+  /// Pops the next chunk for `slot`: own deque front first, then a steal
+  /// scan over the other deques' backs (starting at slot+1, wrapping).
+  /// Returns SIZE_MAX when no queued work is left anywhere — in-flight
+  /// chunks belong to drivers that have not retired yet.
+  size_t nextChunk(size_t slot) {
+    {
+      Slot& own = slots[slot];
+      std::lock_guard<std::mutex> lock(own.mutex);
+      if (!own.chunks.empty()) {
+        const size_t c = own.chunks.front();
+        own.chunks.pop_front();
+        return c;
+      }
+    }
+    const size_t numSlots = slots.size();
+    for (size_t k = 1; k < numSlots; ++k) {
+      Slot& victim = slots[(slot + k) % numSlots];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.chunks.empty()) {
+        const size_t c = victim.chunks.back();
+        victim.chunks.pop_back();
+        return c;
+      }
+    }
+    return SIZE_MAX;
+  }
+
   void drive(size_t slot) {
     for (;;) {
-      const size_t begin = next.fetch_add(chunk);
-      if (begin >= n) break;
+      const size_t c = nextChunk(slot);
+      if (c == SIZE_MAX) break;
+      const size_t begin = c * chunk;
       const size_t end = std::min(n, begin + chunk);
       try {
         (*body)(begin, end, slot);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
-        const size_t c = begin / chunk;
         if (c < failedChunk) {
           failedChunk = c;
           error = std::current_exception();
@@ -120,10 +159,23 @@ void ThreadPool::parallelFor(
   state->n = n;
   state->chunk = chunk;
   state->body = &body;
+  state->slots = std::vector<LoopState::Slot>(drivers);
+  // Deterministic initial distribution: contiguous chunk blocks, slot d
+  // owning chunks [d*numChunks/drivers, (d+1)*numChunks/drivers). The
+  // block partition keeps an owner's chunks adjacent (locality) and puts
+  // the highest-indexed chunks at the back of each deque, which is where
+  // thieves take from — so a steal grabs the chunk its owner would have
+  // reached last.
+  for (size_t d = 0; d < drivers; ++d) {
+    const size_t lo = d * numChunks / drivers;
+    const size_t hi = (d + 1) * numChunks / drivers;
+    for (size_t c = lo; c < hi; ++c) state->slots[d].chunks.push_back(c);
+  }
   state->activeDrivers.store(drivers);
   // Queue drivers for slots 1..drivers-1; the calling thread is slot 0 and
   // starts pulling chunks immediately, so a busy pool can never deadlock
-  // this loop — worst case the caller runs every chunk itself.
+  // this loop — worst case the caller runs every chunk itself (stealing
+  // the queued drivers' blocks once its own is drained).
   for (size_t slot = 1; slot < drivers; ++slot) {
     post([state, slot] {
       state->drive(slot);

@@ -1,19 +1,32 @@
-// Fixed-size thread pool and deterministic data-parallel helpers — the
+// Work-stealing thread pool and deterministic data-parallel helpers — the
 // execution runtime under the scenario sweep, the parallel multi-RHS
-// sensitivity columns, and the Monte-Carlo sample batches.
+// sensitivity columns, the shooting-PSS monodromy blocks, and the
+// Monte-Carlo sample batches.
 //
 // Design rules (see docs/architecture.md "The parallel runtime"):
 //   * ThreadPool(jobs) provides `jobs` concurrent execution slots: jobs-1
 //     worker threads plus the calling thread, which always participates in
 //     parallelFor. ThreadPool(1) spawns no threads and runs everything
 //     inline, so `--jobs 1` is exactly the serial code path.
-//   * parallelFor hands out fixed [begin, end) chunks from an atomic
-//     cursor. The body receives a `slot` in [0, jobCount()): at most one
-//     chunk runs per slot at a time, so per-slot scratch (LU solve buffers,
-//     injection vectors) needs no locking.
+//   * parallelFor is a work-stealing scheduler at chunk granularity: the
+//     [begin, end) chunks — boundaries a pure function of (n, chunk), never
+//     of timing — are block-partitioned across per-slot deques up front.
+//     A slot drains its own deque from the front (adjacent chunks run in
+//     order on one slot, with warm per-slot scratch — placement the old
+//     shared-cursor scheduler left to timing) and, when dry, steals from
+//     the BACK of the other deques, so ragged chunk mixes stay balanced
+//     to within one chunk-length. The body receives a `slot` in
+//     [0, jobCount()): at most one chunk runs per slot at a time, so
+//     per-slot scratch (LU solve buffers, injection vectors) needs no
+//     locking — a stolen chunk simply runs with the thief's scratch.
+//   * Stealing moves chunks between slots, never changes what a chunk
+//     computes: each chunk's arithmetic reads only its own [begin, end)
+//     range, so outputs are bit-identical for every jobs count and every
+//     steal schedule.
 //   * Failure propagation is deterministic: every chunk's exception is
-//     captured, and after the loop joins, the exception of the *lowest*
-//     failed chunk is rethrown — independent of thread count and timing.
+//     captured (on whichever slot ran it, owner or thief), and after the
+//     loop joins, the exception of the *lowest* failed chunk is rethrown —
+//     independent of thread count and timing.
 //   * parallelReduce combines per-chunk partials in chunk order, so
 //     floating-point reductions are bit-identical across jobs counts.
 //   * Nesting on the SAME pool is safe but serial: a parallelFor issued
@@ -56,8 +69,8 @@ class ThreadPool {
 
   /// Runs body(begin, end, slot) over [0, n) in chunks of `chunk`, blocking
   /// until every chunk finished. Chunk boundaries are a pure function of
-  /// (n, chunk), never of timing. Rethrows the lowest failed chunk's
-  /// exception after completion.
+  /// (n, chunk), never of timing; idle slots steal queued chunks from busy
+  /// ones. Rethrows the lowest failed chunk's exception after completion.
   void parallelFor(size_t n, size_t chunk,
                    const std::function<void(size_t, size_t, size_t)>& body);
 
@@ -71,10 +84,35 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// Number of per-slot scratch instances a column-block fan-out over n
+/// independent columns needs: the pool's slot count, or 1 (serial) when
+/// there is no pool or nothing to split. Size scratch with this; the
+/// dispatch below derives the same count from the same (pool, n).
+inline size_t columnBlockSlots(const ThreadPool* pool, size_t n) {
+  return (pool != nullptr && n > 1) ? pool->jobCount() : 1;
+}
+
+/// Fans body(j0, j1, slot) over [0, n) in one contiguous block per slot —
+/// the canonical dispatch for per-column-independent batched solves (the
+/// multi-RHS sensitivity columns, the shooting monodromy block, the LPTV
+/// B_k/V_k recursions). Serial (no pool, or n <= 1) runs inline as a
+/// single block, which is bit-identical to any partition because every
+/// column's arithmetic involves only that column.
+inline void forEachColumnBlock(
+    ThreadPool* pool, size_t n,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  const size_t slots = columnBlockSlots(pool, n);
+  if (slots > 1) {
+    pool->parallelFor(n, (n + slots - 1) / slots, body);
+  } else if (n > 0) {
+    body(0, n, 0);
+  }
+}
+
 /// Deterministic chunked map-reduce: mapChunk(begin, end) produces one
-/// partial per chunk (on any slot, in any order); partials are then
-/// combined strictly in chunk order, so the result is bit-identical for
-/// every jobs count, including 1.
+/// partial per chunk (on any slot, in any order — stealing included);
+/// partials are then combined strictly in chunk order, so the result is
+/// bit-identical for every jobs count, including 1.
 template <class R, class Map, class Combine>
 R parallelReduce(ThreadPool& pool, size_t n, size_t chunk, R init,
                  const Map& mapChunk, const Combine& combine) {

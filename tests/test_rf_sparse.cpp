@@ -22,6 +22,7 @@
 #include "rf/ppv.hpp"
 #include "rf/pss.hpp"
 #include "rf/timedomain_noise.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace psmn {
 namespace {
@@ -270,6 +271,123 @@ TEST(PnoiseGolden, SidebandPsdAndStatisticalWaveformAgree) {
   for (size_t k = 0; k < swD.sigma.size(); ++k) {
     EXPECT_NEAR(swS.sigma[k], swD.sigma[k], kGoldenTol + 1e-6 * swD.sigma[k]);
     EXPECT_NEAR(swS.nominal[k], swD.nominal[k], kGoldenTol);
+  }
+}
+
+// ------------------------------------- parallel RF paths (pool handles)
+
+constexpr Real kParallelTol = 1e-12;
+
+TEST(PssParallelGolden, DrivenMonodromyMatchesSerialAcrossJobCounts) {
+  // The parallel monodromy partitions the column block across pool slots
+  // against the shared accepted-step factorization: each column's
+  // assembly, solve, and write-back involve only that column, so the
+  // whole shooting solve must match the serial path to the last bit —
+  // asserted here at 1e-12 on both backends and several jobs counts.
+  for (LinearSolverKind solver :
+       {LinearSolverKind::kDense, LinearSolverKind::kSparse}) {
+    ChainFixture ckt(8);
+    const PssOptions sopt = pssOptions(solver, 60);
+    const PssResult serial = solvePssDriven(*ckt.sys, ckt.period, sopt);
+    for (size_t jobs : {2u, 4u}) {
+      ThreadPool pool(jobs);
+      PssOptions popt = sopt;
+      popt.pool = &pool;
+      const PssResult par = solvePssDriven(*ckt.sys, ckt.period, popt);
+      EXPECT_EQ(par.shootingIterations, serial.shootingIterations);
+      expectStatesMatch(serial, par, kParallelTol);
+      for (size_t i = 0; i < ckt.sys->size(); ++i) {
+        for (size_t j = 0; j < ckt.sys->size(); ++j) {
+          EXPECT_NEAR(par.monodromy(i, j), serial.monodromy(i, j),
+                      kParallelTol)
+              << "jobs=" << jobs << " (" << i << "," << j << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(PssParallelGolden, AutonomousShootingMatchesSerialWithPool) {
+  RingGolden ring(5, 30e-9, 10e-12);
+  for (LinearSolverKind solver :
+       {LinearSolverKind::kDense, LinearSolverKind::kSparse}) {
+    const PssOptions sopt = pssOptions(solver, 200);
+    const PssResult serial =
+        solvePssAutonomous(*ring.sys, ring.warm.periodEstimate,
+                           ring.warm.phaseIndex, ring.warm.state, sopt);
+    ThreadPool pool(4);
+    PssOptions popt = sopt;
+    popt.pool = &pool;
+    const PssResult par =
+        solvePssAutonomous(*ring.sys, ring.warm.periodEstimate,
+                           ring.warm.phaseIndex, ring.warm.state, popt);
+    EXPECT_EQ(par.shootingIterations, serial.shootingIterations);
+    EXPECT_NEAR(par.period, serial.period, kParallelTol * serial.period);
+    expectStatesMatch(serial, par, kParallelTol);
+  }
+}
+
+TEST(PssParallelGolden, IntegrateMonodromyMatchesSerialOnWarmOrbit) {
+  // The exposed kernel (what BM_MonodromyParallel times): one period of
+  // monodromy accumulation from a warm state, pool vs serial.
+  RingGolden ring(5, 30e-9, 10e-12);
+  PssOptions opt = pssOptions(LinearSolverKind::kSparse, 200);
+  PssWorkspace wsSerial;
+  RealVector xSerial = ring.warm.state;
+  const RealMatrix serial =
+      integrateMonodromy(*ring.sys, xSerial, 0.0, ring.warm.periodEstimate,
+                         opt.stepsPerPeriod, opt, wsSerial);
+  ThreadPool pool(4);
+  opt.pool = &pool;
+  PssWorkspace wsPar;
+  RealVector xPar = ring.warm.state;
+  const RealMatrix par =
+      integrateMonodromy(*ring.sys, xPar, 0.0, ring.warm.periodEstimate,
+                         opt.stepsPerPeriod, opt, wsPar);
+  for (size_t i = 0; i < ring.sys->size(); ++i) {
+    EXPECT_EQ(xPar[i], xSerial[i]) << i;  // integration itself is serial
+    for (size_t j = 0; j < ring.sys->size(); ++j) {
+      EXPECT_NEAR(par(i, j), serial(i, j), kParallelTol);
+    }
+  }
+}
+
+TEST(LptvParallelGolden, DirectAndAdjointMatchSerialAcrossJobCounts) {
+  // The B_k / V_k recursions fan their column blocks across the pool;
+  // every envelope and every adjoint transfer must match the serial
+  // solver at 1e-12, on both orbit backends.
+  for (LinearSolverKind solver :
+       {LinearSolverKind::kDense, LinearSolverKind::kSparse}) {
+    ChainFixture ckt(8);
+    const PssResult pss =
+        solvePssDriven(*ckt.sys, ckt.period, pssOptions(solver, 60));
+    const std::span<const InjectionSource> srcs(ckt.sources.data(), 8);
+    const Real fOff = 1.0;
+    const LptvSolver serial(*ckt.sys, pss);
+    const LptvSolution sSol = serial.solveDirect(srcs, fOff);
+    const CplxVector sAdj = serial.solveAdjoint(srcs, fOff, ckt.outIdx, 0);
+    for (size_t jobs : {2u, 4u}) {
+      ThreadPool pool(jobs);
+      const LptvSolver par(*ckt.sys, pss, LptvOptions{&pool});
+      const LptvSolution pSol = par.solveDirect(srcs, fOff);
+      ASSERT_EQ(pSol.envelopes.size(), sSol.envelopes.size());
+      for (size_t s = 0; s < srcs.size(); ++s) {
+        ASSERT_EQ(pSol.envelopes[s].size(), sSol.envelopes[s].size());
+        for (size_t k = 0; k < sSol.envelopes[s].size(); ++k) {
+          for (size_t i = 0; i < ckt.sys->size(); ++i) {
+            EXPECT_NEAR(std::abs(pSol.envelopes[s][k][i] -
+                                 sSol.envelopes[s][k][i]),
+                        0.0, kParallelTol)
+                << "jobs=" << jobs << " s=" << s << " k=" << k;
+          }
+        }
+      }
+      const CplxVector pAdj = par.solveAdjoint(srcs, fOff, ckt.outIdx, 0);
+      for (size_t s = 0; s < srcs.size(); ++s) {
+        EXPECT_NEAR(std::abs(pAdj[s] - sAdj[s]), 0.0, kParallelTol)
+            << "jobs=" << jobs << " s=" << s;
+      }
+    }
   }
 }
 

@@ -84,6 +84,65 @@ TEST(ThreadPool, LowestFailedChunkWinsDeterministically) {
   }
 }
 
+TEST(ThreadPool, IdleSlotStealsQueuedChunksFromABusyOne) {
+  // Two slots, four chunks: the block partition gives slot 0 chunks {0,1}
+  // and slot 1 chunks {2,3}. Chunk 0 blocks its owner until every other
+  // chunk has run — chunk 1 can then only run if slot 1 STEALS it from
+  // slot 0's deque. Per-slot deques without stealing would leave chunk 1
+  // stranded behind chunk 0 and time out here.
+  ThreadPool pool(2);
+  std::atomic<int> finished{0};
+  std::atomic<int> timeouts{0};
+  pool.parallelFor(4, 1, [&](size_t b, size_t, size_t) {
+    if (b == 0) {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (finished.load() < 3) {
+        if (std::chrono::steady_clock::now() > deadline) {
+          timeouts.fetch_add(1);
+          break;
+        }
+        std::this_thread::yield();
+      }
+    }
+    finished.fetch_add(1);
+  });
+  EXPECT_EQ(timeouts.load(), 0);
+  EXPECT_EQ(finished.load(), 4);
+}
+
+TEST(ThreadPool, StolenChunkExceptionPropagatesAsLowestFailedChunk) {
+  // Force the failing chunk to run on a thief: slot 0 owns chunks {0..3}
+  // but sits in chunk 0 until chunk 3 has run, so chunk 3 — which throws —
+  // is stolen and fails on slot 1. The error must still surface as the
+  // lowest failed chunk, exactly as if its owner had run it.
+  ThreadPool pool(2);
+  for (int repeat = 0; repeat < 10; ++repeat) {
+    std::atomic<bool> chunk3Ran{false};
+    try {
+      pool.parallelFor(80, 10, [&](size_t b, size_t, size_t) {
+        const size_t c = b / 10;
+        if (c == 0) {
+          const auto deadline =
+              std::chrono::steady_clock::now() + std::chrono::seconds(10);
+          while (!chunk3Ran.load() &&
+                 std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::yield();
+          }
+        }
+        if (c == 3) {
+          chunk3Ran.store(true);
+          throw Error("chunk 3 failed");
+        }
+        if (c == 5) throw Error("chunk 5 failed");
+      });
+      FAIL() << "expected an exception";
+    } catch (const Error& e) {
+      EXPECT_STREQ(e.what(), "chunk 3 failed");
+    }
+  }
+}
+
 TEST(ThreadPool, NestedParallelForCompletesInline) {
   ThreadPool pool(2);
   std::vector<std::atomic<int>> hits(64);
@@ -190,6 +249,49 @@ TEST(ScenarioSweep, InputOrderAndBitIdenticalAcrossJobCounts) {
       EXPECT_EQ(r1[i].waveform[k], r2[i].waveform[k]);
       EXPECT_EQ(r1[i].waveform[k], r8[i].waveform[k]);
       EXPECT_EQ(r1[i].waveform[k], r2again[i].waveform[k]);
+    }
+  }
+}
+
+TEST(ScenarioSweep, RaggedMixBitIdenticalAcrossJobCounts) {
+  // A deliberately ragged scenario mix — mostly small chains, one slow
+  // outlier (8x2, ~4x the unknowns and twice the window) sitting at a
+  // block boundary so a work-stealing schedule actually redistributes the
+  // small scenarios queued behind it. Output must not depend on who ran
+  // what: bit-identical across jobs counts and repeats.
+  std::vector<SweepScenario> scenarios;
+  const int stageMix[] = {2, 6, 2, 10, 2, 4, 2, 8, 2, 4, 6, 2};
+  for (size_t i = 0; i < std::size(stageMix); ++i) {
+    SweepScenario sc;
+    sc.name = "ragged_" + std::to_string(i);
+    const int stages = stageMix[i];
+    const bool outlier = (i == 3);
+    sc.make = [stages, outlier] {
+      return makeChainNetlist(stages, outlier ? 2 : 1, 4e-15);
+    };
+    sc.analysis = SweepAnalysis::kTransient;
+    sc.outNode = outlier ? "chr1" + std::to_string(stages)
+                         : "ch" + std::to_string(stages);
+    sc.t1 = outlier ? 4e-9 : 2e-9;
+    sc.dt = 20e-12;
+    scenarios.push_back(std::move(sc));
+  }
+  ThreadPool p1(1), p2(2), p8(8);
+  const auto r1 = runScenarioSweep(scenarios, p1);
+  const auto r2 = runScenarioSweep(scenarios, p2);
+  const auto r8 = runScenarioSweep(scenarios, p8);
+  const auto r8again = runScenarioSweep(scenarios, p8);
+  ASSERT_EQ(r1.size(), scenarios.size());
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    ASSERT_TRUE(r1[i].ok) << r1[i].error;
+    ASSERT_TRUE(r2[i].ok) << r2[i].error;
+    ASSERT_TRUE(r8[i].ok) << r8[i].error;
+    ASSERT_EQ(r1[i].waveform.size(), r2[i].waveform.size());
+    ASSERT_EQ(r1[i].waveform.size(), r8[i].waveform.size());
+    for (size_t k = 0; k < r1[i].waveform.size(); ++k) {
+      EXPECT_EQ(r1[i].waveform[k], r2[i].waveform[k]) << i << " " << k;
+      EXPECT_EQ(r1[i].waveform[k], r8[i].waveform[k]) << i << " " << k;
+      EXPECT_EQ(r1[i].waveform[k], r8again[i].waveform[k]) << i << " " << k;
     }
   }
 }
