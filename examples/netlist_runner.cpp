@@ -265,8 +265,22 @@ int main(int argc, char** argv) {
     std::printf("(no deck given; running the built-in demo)\n");
   }
 
-  ParsedCircuit pc = parseNetlistString(deckText);
-  std::printf("title: %s\n", pc.title.c_str());
-  if (args.sweepSamples > 0) return runSweep(deckText, pc, args);
-  return runCards(pc, args);
+  // Solver failures carry a structured post-mortem (FailureDiagnostics):
+  // print it and exit nonzero instead of dying on an unhandled exception,
+  // so scripted flows get a parseable one-line cause.
+  try {
+    ParsedCircuit pc = parseNetlistString(deckText);
+    std::printf("title: %s\n", pc.title.c_str());
+    if (args.sweepSamples > 0) return runSweep(deckText, pc, args);
+    return runCards(pc, args);
+  } catch (const Error& err) {
+    std::fprintf(stderr, "error: %s\n", err.what());
+    if (const FailureDiagnostics* d = err.diagnostics()) {
+      std::fprintf(stderr, "diagnostics: %s\n", d->describe().c_str());
+    }
+    return 1;
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "error: %s\n", err.what());
+    return 1;
+  }
 }

@@ -1,14 +1,42 @@
 #include "engine/dc.hpp"
 
 #include <cmath>
+#include <limits>
+
+#include "util/fault_injection.hpp"
 
 namespace psmn {
 namespace {
 
+// Max-norm that propagates non-finites: std::max drops NaN (the comparison
+// is false), so a poisoned residual would otherwise read as norm 0 and be
+// accepted as converged.
 Real maxAbsVec(std::span<const Real> v) {
   Real m = 0.0;
-  for (Real x : v) m = std::max(m, std::fabs(x));
+  for (Real x : v) {
+    if (!std::isfinite(x)) return std::numeric_limits<Real>::quiet_NaN();
+    m = std::max(m, std::fabs(x));
+  }
   return m;
+}
+
+Real dotVec(std::span<const Real> a, std::span<const Real> b) {
+  Real s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// Cold-path failure recorder for newtonSolve / the arclength corrector.
+void recordFailure(DcWorkspace& ws, const MnaSystem& sys, const char* stage,
+                   int iteration, Real residual, std::span<const Real> f) {
+  ws.lastFailure = {};
+  ws.lastFailure.analysis = "dc";
+  ws.lastFailure.stage = stage;
+  ws.lastFailure.iteration = iteration;
+  if (std::isfinite(residual)) ws.lastFailure.residual = residual;
+  ws.lastFailure.suspectNodes = sys.suspectUnknowns(f);
+  ws.lastFailure.injectedFault = lastFiredFaultSite();
+  ws.haveFailure = true;
 }
 
 }  // namespace
@@ -25,6 +53,7 @@ bool newtonSolve(const MnaSystem& sys, RealVector& x, const DcOptions& opt,
   eopt.sourceScale = sourceScale;
   eopt.gshunt = gshunt;
 
+  Real lastRes = -1.0;
   for (int iter = 0; iter < opt.maxIterations; ++iter) {
     if (sparse) {
       sys.evalSparse(x, opt.time, &f, nullptr, &ws->gsp, nullptr, eopt);
@@ -36,7 +65,11 @@ bool newtonSolve(const MnaSystem& sys, RealVector& x, const DcOptions& opt,
     // (exp overflow on a deep logic chain rung): no amount of further
     // iteration recovers, so report failure immediately and let the
     // homotopy ladder backtrack instead of burning maxIterations factors.
-    if (!std::isfinite(resNorm)) return false;
+    if (!std::isfinite(resNorm)) {
+      recordFailure(*ws, sys, "newton/non-finite-residual", iter, lastRes, f);
+      return false;
+    }
+    lastRes = resNorm;
 
     // Solve G dx = -f in place; the sparse branch reuses the pivot order
     // and fill pattern cached in the workspace (across iterations and,
@@ -58,21 +91,223 @@ bool newtonSolve(const MnaSystem& sys, RealVector& x, const DcOptions& opt,
         ws->dlu.solveInPlace(f);
       }
     } catch (const NumericalError&) {
+      for (Real& v : f) v = -v;  // restore f for the suspect report
+      recordFailure(*ws, sys, "newton/factorization", iter, resNorm, f);
       return false;
     }
     const RealVector& dx = f;
 
     // Clamp the Newton step to keep exponential devices in range.
     const Real stepNorm = maxAbsVec(dx);
-    if (!std::isfinite(stepNorm)) return false;  // don't poison the iterate
+    if (!std::isfinite(stepNorm)) {  // don't poison the iterate
+      recordFailure(*ws, sys, "newton/non-finite-step", iter, resNorm, {});
+      return false;
+    }
     Real scale = 1.0;
     if (stepNorm > opt.maxStep) scale = opt.maxStep / stepNorm;
     for (size_t i = 0; i < n; ++i) x[i] += scale * dx[i];
 
     if (iterationsOut) *iterationsOut = iter + 1;
     if (resNorm < opt.residualTol && stepNorm * scale < opt.updateTol) {
+      // Injected stagnation: refuse this acceptance and keep iterating, so
+      // the kernel exhausts maxIterations exactly like a genuinely stuck
+      // Newton (the recovery paths cannot tell the difference).
+      if (faultShouldFire("dc.newton.converge")) continue;
       return true;
     }
+  }
+  recordFailure(*ws, sys, "newton/stagnation", opt.maxIterations, lastRes,
+                ws->f);
+  return false;
+}
+
+bool solveDcArclength(const MnaSystem& sys, RealVector& x,
+                      const DcOptions& opt, DcWorkspace& ws,
+                      int* iterationsOut, int* stepsOut) {
+  if (opt.arclengthSteps <= 0) return false;
+  const size_t n = sys.size();
+  const bool sparse = useSparseSolver(opt.solver, n, opt.sparseThreshold);
+  MnaSystem::EvalOptions eopt;
+  eopt.gshunt = opt.gshunt;
+  const Real dLamFd = 1e-6;  // FD step for f_lambda (lambda is O(1))
+
+  // Evaluates f and factors J = df/dx at (xe, lambda) into the shared
+  // workspace. False on a pivot breakdown or a non-finite residual.
+  auto factorAt = [&](const RealVector& xe, Real lambda) -> bool {
+    eopt.sourceScale = lambda;
+    try {
+      if (sparse) {
+        sys.evalSparse(xe, opt.time, &ws.f, nullptr, &ws.gsp, nullptr, eopt);
+        if (ws.gsp.nonZeros() != ws.patternNnz) {
+          ws.sluSymbolic = false;
+          ws.patternNnz = ws.gsp.nonZeros();
+        }
+        if (!ws.sluSymbolic || !ws.slu.refactor(ws.gsp)) {
+          ws.slu.factor(ws.gsp, 0.1, opt.ordering);
+          ws.sluSymbolic = true;
+        }
+      } else {
+        sys.evalDense(xe, opt.time, &ws.f, nullptr, &ws.g, nullptr, eopt);
+        ws.dlu.factor(ws.g);
+      }
+    } catch (const NumericalError&) {
+      return false;
+    }
+    return std::isfinite(maxAbsVec(ws.f));
+  };
+  auto solveJ = [&](RealVector& rhs) {
+    if (sparse) ws.slu.solveInPlace(rhs);
+    else ws.dlu.solveInPlace(rhs);
+  };
+  // f_lambda at (xe, lambda) by forward difference against fAt (= f there).
+  RealVector fPert;
+  auto evalFLambda = [&](const RealVector& xe, Real lambda,
+                         std::span<const Real> fAt, RealVector& fl) {
+    MnaSystem::EvalOptions pe = eopt;
+    pe.sourceScale = lambda + dLamFd;
+    sys.evalDense(xe, opt.time, &fPert, nullptr, nullptr, nullptr, pe);
+    fl.resize(n);
+    for (size_t i = 0; i < n; ++i) fl[i] = (fPert[i] - fAt[i]) / dLamFd;
+  };
+
+  // Anchor the curve at lambda = 0 (all independent sources off). If even
+  // that fails there is nothing to continue from.
+  x.assign(n, 0.0);
+  if (!newtonSolve(sys, x, opt, 0.0, opt.gshunt, iterationsOut, &ws)) {
+    return false;
+  }
+  const RealVector xAnchor = x;
+
+  RealVector fl(n), w(n), ab(2 * n), xc(n), fAccept(n);
+
+  // Traces the solution curve from the anchor with the given starting
+  // orientation (+1: toward +lambda, -1: toward -lambda). True once a
+  // lambda = 1 crossing has been polished to a solution (left in x).
+  auto traceFrom = [&](Real orient) -> bool {
+  x = xAnchor;
+  Real lam = 0.0;
+  RealVector tx(n, 0.0);  // tangent, x part (previous step's, for
+  Real tl = orient;       // orientation); seeded along `orient`
+  Real ds = opt.arclengthDs;
+  int accepted = 0;
+
+  for (int step = 0; step < opt.arclengthSteps; ++step) {
+    // --- Tangent at the accepted point: J w = -f_lambda, t ~ (w, 1).
+    if (!factorAt(x, lam)) {
+      recordFailure(ws, sys, "arclength/tangent", step, -1.0, ws.f);
+      return false;
+    }
+    fAccept = ws.f;
+    evalFLambda(x, lam, fAccept, fl);
+    w.assign(fl.begin(), fl.end());
+    for (Real& v : w) v = -v;
+    solveJ(w);
+    Real norm = std::sqrt(dotVec(w, w) + 1.0);
+    if (!std::isfinite(norm) || norm == 0.0) {
+      recordFailure(ws, sys, "arclength/tangent", step, -1.0, fAccept);
+      return false;
+    }
+    Real tauL = 1.0 / norm;
+    // Orient along the previous tangent so the trace never doubles back;
+    // through a fold this flips the sign of the lambda component — exactly
+    // the turning-point traversal the ladders cannot do.
+    const Real dir = dotVec(w, tx) / norm + tauL * tl;
+    Real sgn = dir >= 0.0 ? 1.0 : -1.0;
+    for (size_t i = 0; i < n; ++i) tx[i] = sgn * w[i] / norm;
+    tl = sgn * tauL;
+
+    // --- Predictor + corrector, halving ds until a step is accepted.
+    bool stepAccepted = false;
+    Real lamc = lam;
+    while (!stepAccepted) {
+      for (size_t i = 0; i < n; ++i) xc[i] = x[i] + ds * tx[i];
+      lamc = lam + ds * tl;
+
+      bool converged = false;
+      for (int it = 0; it < opt.arclengthNewton; ++it) {
+        if (!factorAt(xc, lamc)) break;
+        const Real resNorm = maxAbsVec(ws.f);
+        evalFLambda(xc, lamc, ws.f, fl);
+        // Bordered system by block elimination on the factored J:
+        //   [ J    f_l ] [dx ]   [ -f ]        J a = f,  J b = f_l
+        //   [ tx^T tl  ] [dl ] = [ -N ]   =>   dl = (tx.a - N)/(tl - tx.b)
+        //                                      dx = -a - dl*b
+        // One batched 2-column solve against the factorization.
+        for (size_t i = 0; i < n; ++i) ab[i] = ws.f[i];
+        for (size_t i = 0; i < n; ++i) ab[n + i] = fl[i];
+        if (sparse) ws.slu.solveManyInPlace(ab, 2);
+        else ws.dlu.solveManyInPlace(ab, 2);
+        const std::span<const Real> a(ab.data(), n);
+        const std::span<const Real> b(ab.data() + n, n);
+        Real bigN = tl * (lamc - lam) - ds;
+        for (size_t i = 0; i < n; ++i) bigN += tx[i] * (xc[i] - x[i]);
+        const Real denom = tl - dotVec(tx, b);
+        const Real dl = (dotVec(tx, a) - bigN) / denom;
+        if (!std::isfinite(dl)) break;
+        Real stepNorm = std::fabs(dl);
+        for (size_t i = 0; i < n; ++i) {
+          stepNorm = std::max(stepNorm, std::fabs(a[i] + dl * b[i]));
+        }
+        if (!std::isfinite(stepNorm)) break;
+        Real scale = 1.0;
+        if (stepNorm > opt.maxStep) scale = opt.maxStep / stepNorm;
+        for (size_t i = 0; i < n; ++i) {
+          xc[i] += scale * (-a[i] - dl * b[i]);
+        }
+        lamc += scale * dl;
+        if (iterationsOut) ++*iterationsOut;
+        if (resNorm < opt.residualTol && stepNorm * scale < opt.updateTol) {
+          converged = true;
+          // Grow the arc step after an easy corrector (few iterations).
+          if (it <= 3) ds = std::min(ds * 1.5, opt.arclengthDsMax);
+          break;
+        }
+      }
+      if (converged) {
+        stepAccepted = true;
+      } else {
+        ds *= 0.5;
+        if (ds < opt.arclengthDsMin) {
+          recordFailure(ws, sys, "arclength/step-collapse", step, -1.0, ws.f);
+          return false;
+        }
+      }
+    }
+
+    // --- Crossing lambda = 1: polish with plain Newton from the
+    // interpolated crossing point. A miss is not fatal — the curve may
+    // fold back and cross again; keep tracing.
+    if ((lam - 1.0) * (lamc - 1.0) <= 0.0 && lamc != lam) {
+      const Real frac = (1.0 - lam) / (lamc - lam);
+      RealVector xi(n);
+      for (size_t i = 0; i < n; ++i) xi[i] = x[i] + frac * (xc[i] - x[i]);
+      if (newtonSolve(sys, xi, opt, 1.0, opt.gshunt, iterationsOut, &ws)) {
+        x = xi;
+        if (stepsOut) *stepsOut = accepted + 1;
+        return true;
+      }
+    }
+
+    x = xc;
+    lam = lamc;
+    ++accepted;
+    // Runaway guard: a trace this far outside the homotopy interval is
+    // following a disconnected branch and will not reach lambda = 1.
+    if (lam < -1.0 || lam > 3.0) {
+      recordFailure(ws, sys, "arclength/lambda-escape", step, -1.0, ws.f);
+      return false;
+    }
+  }
+  recordFailure(ws, sys, "arclength/out-of-steps", opt.arclengthSteps, -1.0,
+                ws.f);
+  return false;
+  };  // traceFrom
+
+  // Two-sided tracing: the physical branch through lambda = 1 sometimes
+  // leaves the anchor in the -lambda direction first (around a lower fold)
+  // — a one-sided trace would follow the other arm to a dead end.
+  for (const Real orient : {1.0, -1.0}) {
+    if (traceFrom(orient)) return true;
   }
   return false;
 }
@@ -184,7 +419,27 @@ DcResult solveDc(const MnaSystem& sys, const DcOptions& opt,
     }
   }
 
-  throw ConvergenceError("DC operating point failed to converge");
+  // Pseudo-arclength continuation: both ramped ladders stalled, which on a
+  // circuit with a fold means the branch they were following vanished.
+  // Trace the solution curve itself instead.
+  {
+    RealVector x;
+    if (solveDcArclength(sys, x, opt, ws, &result.iterations,
+                         &result.arclengthSteps)) {
+      result.x = x;
+      result.usedArclength = true;
+      return result;
+    }
+  }
+
+  FailureDiagnostics diag;
+  if (ws.haveFailure) diag = ws.lastFailure;
+  diag.analysis = "dc";
+  if (diag.stage.empty()) diag.stage = "ladder";
+  throw ConvergenceError(
+      "DC operating point failed to converge (gmin/source ladders and "
+      "arclength continuation exhausted): " + diag.describe(),
+      std::move(diag));
 }
 
 }  // namespace psmn

@@ -1,5 +1,7 @@
 // DC operating-point solver: damped Newton with gmin-stepping and
-// source-stepping homotopies as fallbacks.
+// source-stepping homotopies as fallbacks, and — when both ladders stall —
+// a pseudo-arclength continuation that walks the source-scale homotopy
+// around turning points (folds) instead of trying to ramp through them.
 #pragma once
 
 #include "engine/mna.hpp"
@@ -25,6 +27,17 @@ struct DcOptions {
   size_t sparseThreshold = kSparseSolverThreshold;
   /// Fill-reducing column pre-ordering for the sparse backend.
   OrderingKind ordering = OrderingKind::kAmd;
+
+  // Pseudo-arclength continuation (the escalation behind the ladders).
+  // Traces the curve H(x, lambda) = f(x; lambda-scaled sources) = 0 from
+  // (x(0), 0) by predictor-corrector steps of arclength ds, so a fold in
+  // lambda — where the ramped ladders lose their branch and stall — is
+  // walked around: lambda decreases through the turn and recovers.
+  int arclengthSteps = 200;    // max predictor-corrector steps (0 disables)
+  Real arclengthDs = 0.1;      // initial arc step (V-ish units)
+  Real arclengthDsMin = 1e-6;  // give up when the step collapses below this
+  Real arclengthDsMax = 0.5;   // growth cap after easy correctors
+  int arclengthNewton = 20;    // corrector iterations per step
 };
 
 struct DcResult {
@@ -32,6 +45,8 @@ struct DcResult {
   int iterations = 0;
   bool usedGminStepping = false;
   bool usedSourceStepping = false;
+  bool usedArclength = false;
+  int arclengthSteps = 0;  // accepted continuation steps when used
 };
 
 /// Reusable Newton scratch: cached sparsity pattern, symbolic
@@ -45,17 +60,36 @@ struct DcWorkspace {
   SparseLU<Real> slu;
   bool sluSymbolic = false;
   size_t patternNnz = 0;
+  /// Post-mortem of the most recent newtonSolve that returned false
+  /// (iteration, residual, suspect unknowns). solveDc folds it into the
+  /// ConvergenceError it throws; ladder rungs overwrite it freely.
+  FailureDiagnostics lastFailure;
+  bool haveFailure = false;
 };
 
-/// Solves f(x, t) = 0. Throws ConvergenceError if all strategies fail.
+/// Solves f(x, t) = 0. Throws ConvergenceError (with FailureDiagnostics)
+/// if every strategy — plain Newton, both homotopy ladders, and the
+/// arclength continuation — fails.
 DcResult solveDc(const MnaSystem& sys, const DcOptions& opt = {},
                  const RealVector* initialGuess = nullptr);
 
 /// Raw damped-Newton kernel used by solveDc and the transient engine.
-/// Returns false instead of throwing when Newton stalls. `ws` carries the
-/// cached solver state between calls; pass null for a one-off solve.
+/// Returns false instead of throwing when Newton stalls (the failure
+/// post-mortem lands in ws->lastFailure). `ws` carries the cached solver
+/// state between calls; pass null for a one-off solve.
 bool newtonSolve(const MnaSystem& sys, RealVector& x, const DcOptions& opt,
                  Real sourceScale, Real gshunt, int* iterationsOut = nullptr,
                  DcWorkspace* ws = nullptr);
+
+/// Pseudo-arclength continuation over the source-scale homotopy, exposed
+/// for tests and for callers that want continuation without the ladder
+/// attempts first. Traces from (x(lambda=0), 0) until the curve crosses
+/// lambda = 1 and a plain Newton polish lands there; `x` receives the
+/// solution. Returns false when the trace runs out of steps, the step
+/// collapses, or no crossing converges. `stepsOut` (optional) reports
+/// accepted continuation steps.
+bool solveDcArclength(const MnaSystem& sys, RealVector& x,
+                      const DcOptions& opt, DcWorkspace& ws,
+                      int* iterationsOut = nullptr, int* stepsOut = nullptr);
 
 }  // namespace psmn

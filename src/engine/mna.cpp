@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "util/fault_injection.hpp"
 
 namespace psmn {
 
@@ -33,6 +36,9 @@ void MnaSystem::evalDense(std::span<const Real> x, Real t, RealVector* f,
       if (f) (*f)[i] += opt.gshunt * x[i];
       if (g) (*g)(i, i) += opt.gshunt;
     }
+  }
+  if (f && faultShouldFire("mna.eval")) {
+    (*f)[0] = std::numeric_limits<Real>::quiet_NaN();
   }
 }
 
@@ -115,6 +121,9 @@ void MnaSystem::evalSparse(std::span<const Real> x, Real t, RealVector* f,
       if (g) *g->find(static_cast<int>(i), static_cast<int>(i)) += opt.gshunt;
     }
   }
+  if (f && faultShouldFire("mna.eval")) {
+    (*f)[0] = std::numeric_limits<Real>::quiet_NaN();
+  }
 }
 
 void MnaSystem::evalInjection(const InjectionSource& src,
@@ -170,6 +179,26 @@ std::vector<InjectionSource> MnaSystem::collectSources(
     }
   }
   return out;
+}
+
+std::vector<std::string> MnaSystem::suspectUnknowns(std::span<const Real> f,
+                                                    size_t count) const {
+  // Rank by "badness": non-finite entries outrank every finite one; finite
+  // entries rank by magnitude. Cold path (failure reporting only).
+  std::vector<size_t> order(std::min(f.size(), n_));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto badness = [&](size_t i) {
+    return std::isfinite(f[i]) ? std::fabs(f[i])
+                               : std::numeric_limits<Real>::infinity();
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return badness(a) > badness(b); });
+  std::vector<std::string> names;
+  for (size_t k = 0; k < order.size() && k < count; ++k) {
+    if (badness(order[k]) == 0.0) break;  // a zero residual is not suspect
+    names.push_back(netlist_->unknownName(order[k]));
+  }
+  return names;
 }
 
 std::vector<Real> MnaSystem::collectBreakpoints(Real t0, Real t1) const {

@@ -135,6 +135,12 @@ class MnaSystem {
   /// Number of node-voltage unknowns (gshunt applies to these only).
   size_t nodeUnknowns() const { return nodeUnknowns_; }
 
+  /// Names of the `count` unknowns with the worst residual entries of `f`
+  /// (non-finite entries first, then by magnitude) — the suspect list the
+  /// solvers attach to FailureDiagnostics when Newton dies.
+  std::vector<std::string> suspectUnknowns(std::span<const Real> f,
+                                           size_t count = 3) const;
+
  private:
   Netlist* netlist_;
   size_t n_ = 0;

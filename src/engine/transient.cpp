@@ -1,16 +1,41 @@
 #include "engine/transient.hpp"
 
 #include <cmath>
+#include <limits>
 
+#include "util/fault_injection.hpp"
 #include "util/units.hpp"
 
 namespace psmn {
 namespace {
 
+// Max-norm that propagates non-finites: std::max drops NaN (the comparison
+// is false), so a poisoned residual would otherwise read as norm 0 and be
+// accepted as converged.
 Real maxAbsVec(std::span<const Real> v) {
   Real m = 0.0;
-  for (Real x : v) m = std::max(m, std::fabs(x));
+  for (Real x : v) {
+    if (!std::isfinite(x)) return std::numeric_limits<Real>::quiet_NaN();
+    m = std::max(m, std::fabs(x));
+  }
   return m;
+}
+
+/// Cold-path failure recorder for integrateStep.
+void recordStepFailure(TransientWorkspace& ws, const MnaSystem& sys,
+                       const char* stage, int iteration, Real residual,
+                       Real t, bool nonFinite) {
+  ws.lastFailure = {};
+  ws.lastFailure.analysis = "transient";
+  ws.lastFailure.stage = stage;
+  ws.lastFailure.iteration = iteration;
+  if (std::isfinite(residual)) ws.lastFailure.residual = residual;
+  ws.lastFailure.time = t;
+  ws.lastFailure.hasTime = true;
+  ws.lastFailure.suspectNodes = sys.suspectUnknowns(ws.r);
+  ws.lastFailure.injectedFault = lastFiredFaultSite();
+  ws.haveFailure = true;
+  ws.lastFailureNonFinite = nonFinite;
 }
 
 }  // namespace
@@ -81,6 +106,15 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
     ws.r.resize(n);
     for (size_t i = 0; i < n; ++i) ws.r[i] = ws.f[i] + a * ws.q1[i] + ws.rhsQ[i];
     const Real resNorm = maxAbsVec(ws.r);
+    // Non-finite residual early-out (matching newtonSolve): the iterate
+    // escaped the devices' range; further iteration cannot recover and a
+    // NaN would poison the factorization, so fail the step now and let the
+    // caller cut the timestep.
+    if (!std::isfinite(resNorm)) {
+      recordStepFailure(ws, sys, "tran-newton/non-finite-residual", iter,
+                        -1.0, t1, /*nonFinite=*/true);
+      return false;
+    }
 
     // Factor (sparse: numeric refactorization on the kept pivot sequence,
     // full factor only on the first step or after a pivot breakdown).
@@ -98,6 +132,8 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
         ++ws.fullFactorizations;
       }
     } catch (const NumericalError&) {
+      recordStepFailure(ws, sys, "tran-newton/factorization", iter, resNorm,
+                        t1, /*nonFinite=*/false);
       return false;
     }
 
@@ -107,11 +143,19 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
     else ws.dlu.solveInPlace(ws.r);
 
     const Real stepNorm = maxAbsVec(ws.r);
+    if (!std::isfinite(stepNorm)) {  // don't poison the iterate
+      recordStepFailure(ws, sys, "tran-newton/non-finite-step", iter, resNorm,
+                        t1, /*nonFinite=*/true);
+      return false;
+    }
     Real scale = 1.0;
     if (stepNorm > opt.maxStep) scale = opt.maxStep / stepNorm;
     for (size_t i = 0; i < n; ++i) ws.x1[i] += scale * ws.r[i];
     if (newtonCount) ++*newtonCount;
     if (resNorm < opt.residualTol && stepNorm * scale < opt.updateTol) {
+      // Injected stagnation: refuse the acceptance and keep iterating (see
+      // the matching probe in newtonSolve).
+      if (faultShouldFire("tran.newton.converge")) continue;
       // Accept x1 after this sub-updateTol correction, but keep the final
       // iteration's q1/C/factored-J: they were evaluated a distance
       // < updateTol from the accepted point, an O(dx) error the tolerances
@@ -122,7 +166,11 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
       break;
     }
   }
-  if (!converged) return false;
+  if (!converged) {
+    recordStepFailure(ws, sys, "tran-newton/stagnation", opt.maxNewton, -1.0,
+                      t1, /*nonFinite=*/false);
+    return false;
+  }
 
   // Update the charge state from the accepted-point q1 (already evaluated).
   ws.qd1.resize(n);
@@ -157,6 +205,29 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
   return integrateStep(sys, method, beStep, t, h, x, q, qd, qm1, opt, ws,
                        newtonCount);
 }
+
+namespace {
+
+/// Builds and throws the run-level error from the workspace post-mortem: a
+/// NaN/Inf escape surfaces as NumericalError, a stalled Newton as
+/// ConvergenceError.
+[[noreturn]] void throwStepFailure(const TransientWorkspace& ws, Real t,
+                                   const std::string& what) {
+  FailureDiagnostics diag;
+  if (ws.haveFailure) diag = ws.lastFailure;
+  diag.analysis = "transient";
+  if (!diag.hasTime) {
+    diag.time = t;
+    diag.hasTime = true;
+  }
+  const std::string msg = what + ": " + diag.describe();
+  if (ws.haveFailure && ws.lastFailureNonFinite) {
+    throw NumericalError(msg, std::move(diag));
+  }
+  throw ConvergenceError(msg, std::move(diag));
+}
+
+}  // namespace
 
 TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
                              const TranOptions& opt) {
@@ -227,8 +298,8 @@ TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
         if (!integrateStep(sys, opt.method, forceBE, t, hseg, x, q, qd,
                            havePrev ? &qPrev : nullptr, opt, ws,
                            &result.newtonIterations)) {
-          throw ConvergenceError("transient Newton failed at t=" +
-                                 formatEng(t + hseg) + "s");
+          throwStepFailure(ws, t + hseg, "transient Newton failed at t=" +
+                                             formatEng(t + hseg) + "s");
         }
         std::swap(qPrev, qSave);
         havePrev = true;
@@ -267,7 +338,8 @@ TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
           std::swap(qd, qdSave);
           h = std::max(hTry * 0.5, dtMin);
           if (!ok && hTry <= dtMin * 1.01) {
-            throw ConvergenceError("transient Newton failed at minimum step");
+            throwStepFailure(ws, t + hTry,
+                             "transient Newton failed at minimum step");
           }
           continue;
         }

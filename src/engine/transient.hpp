@@ -99,6 +99,15 @@ struct TransientWorkspace {
   size_t fullFactorizations = 0;
   size_t refactorizations = 0;
 
+  /// Post-mortem of the most recent integrateStep that returned false
+  /// (iteration, residual, suspect unknowns). runTransient folds it into
+  /// the error it throws; `lastFailureNonFinite` distinguishes a NaN/Inf
+  /// escape (surfaced as NumericalError) from plain Newton stagnation
+  /// (ConvergenceError).
+  FailureDiagnostics lastFailure;
+  bool haveFailure = false;
+  bool lastFailureNonFinite = false;
+
   void chooseBackend(size_t n, const TranOptions& opt) {
     if (chosen) return;
     sparse = useSparseSolver(opt.solver, n, opt.sparseThreshold);

@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/fault_injection.hpp"
+
 namespace psmn {
 
 template <class T>
 void DenseLU<T>::factor(const Matrix<T>& a) {
   PSMN_CHECK(a.rows() == a.cols(), "LU requires a square matrix");
+  if (faultShouldFire("dense_lu.factor")) {
+    throw NumericalError("dense LU: injected pivot failure");
+  }
   const size_t n = a.rows();
   lu_ = a;
   perm_.resize(n);

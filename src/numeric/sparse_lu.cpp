@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/fault_injection.hpp"
+
 namespace psmn {
 namespace {
 
@@ -47,6 +49,10 @@ void SparseLU<T>::factor(const SparseMatrix<T>& a, double pivotThreshold,
   PSMN_CHECK(a.rows() == a.cols(), "sparse LU requires a square matrix");
   PSMN_CHECK(pivotThreshold > 0.0 && pivotThreshold <= 1.0,
              "pivot threshold must be in (0,1]");
+  if (faultShouldFire("sparse_lu.factor")) {
+    valid_ = false;
+    throw NumericalError("sparse LU: injected pivot failure");
+  }
   valid_ = false;
   n_ = a.rows();
   patternNnz_ = a.nonZeros();
@@ -176,6 +182,12 @@ bool SparseLU<T>::refactor(const SparseMatrix<T>& a, double pivotTol) {
   // constructed pattern must not be replayed.
   if (n_ == 0 || !valid_ || a.rows() != n_ || a.cols() != n_ ||
       a.nonZeros() != patternNnz_) {
+    valid_ = false;
+    return false;
+  }
+  if (faultShouldFire("sparse_lu.refactor")) {
+    // An injected kept-pivot breakdown: report it exactly like an organic
+    // one so the caller's full-factor fallback path is exercised.
     valid_ = false;
     return false;
   }

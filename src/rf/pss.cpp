@@ -3,19 +3,27 @@
 #include <cmath>
 
 #include <algorithm>
+#include <limits>
 
 #include "engine/dc.hpp"
 #include "meas/measure.hpp"
 #include "numeric/dense_lu.hpp"
 #include "numeric/fourier.hpp"
 #include "runtime/thread_pool.hpp"
+#include "util/fault_injection.hpp"
 
 namespace psmn {
 namespace {
 
+// Max-norm that propagates non-finites: std::max drops NaN (the comparison
+// is false), so a poisoned residual would otherwise read as norm 0 and be
+// accepted as converged.
 Real maxAbsVec(std::span<const Real> v) {
   Real m = 0.0;
-  for (Real x : v) m = std::max(m, std::fabs(x));
+  for (Real x : v) {
+    if (!std::isfinite(x)) return std::numeric_limits<Real>::quiet_NaN();
+    m = std::max(m, std::fabs(x));
+  }
   return m;
 }
 
@@ -341,56 +349,70 @@ PssResult solvePssDriven(const MnaSystem& sys, Real period,
   throw ConvergenceError("driven PSS shooting did not converge");
 }
 
-PssResult solvePssAutonomous(const MnaSystem& sys, Real periodGuess,
-                             int phaseIndex, const RealVector& x0guess,
-                             const PssOptions& opt) {
-  PSMN_CHECK(periodGuess > 0.0, "period guess must be positive");
-  const size_t n = sys.size();
-  PSMN_CHECK(phaseIndex >= 0 && phaseIndex < static_cast<int>(n),
-             "bad phase index");
-  PSMN_CHECK(x0guess.size() == n, "bad initial guess size");
+namespace {
 
-  PssWorkspace pw;
-  RealVector x0 = x0guess;
-  Real period = periodGuess;
+/// State threaded through shootAutonomousCore across homotopy rungs:
+/// (x0, T) is both the guess in and the solution out; the counters
+/// accumulate across calls.
+struct AutonomousShoot {
+  RealVector x0;
+  Real period = 0.0;
+  int iterations = 0;
+  size_t newtonIterations = 0;
+  /// Conditioning of the last bordered shooting Jacobian (1 = perfect,
+  /// 0 = singular). A degenerate multi-wave orbit — extra Floquet
+  /// multipliers at 1 — drives this toward 0.
+  Real borderedPivotRatio = 1.0;
+};
+
+/// One autonomous shooting solve at the gshunt carried in `opt`. Returns
+/// false (with `diag` filled) instead of throwing when shooting stalls, so
+/// the relaxed-circuit homotopy ladder can re-anchor and retry.
+bool shootAutonomousCore(const MnaSystem& sys, AutonomousShoot& st,
+                         int phaseIndex, const PssOptions& opt,
+                         PssWorkspace& pw, FailureDiagnostics& diag) {
+  const size_t n = sys.size();
+  RealVector& x0 = st.x0;
+  Real& period = st.period;
   const Real phaseLevel = x0[phaseIndex];
 
-  size_t newtonTotal = 0;
   RealVector prevX0;
   Real prevPeriod = period;
   bool haveUpdate = false;
+  Real lastRes = -1.0;
+  RealVector r(n, 0.0);
+  auto fail = [&](const char* stage, int iter) {
+    diag = {};
+    diag.analysis = "pss";
+    diag.stage = stage;
+    diag.iteration = iter;
+    if (lastRes >= 0.0) diag.residual = lastRes;
+    diag.suspectNodes = sys.suspectUnknowns(r);
+    diag.injectedFault = lastFiredFaultSite();
+    return false;
+  };
+
   for (int iter = 0; iter < opt.maxShootingIterations; ++iter) {
     PeriodIntegration pi;
     try {
       pi = integratePeriod(sys, x0, 0.0, period, opt.stepsPerPeriod, opt,
                            true, false, pw);
     } catch (const ConvergenceError&) {
-      // Backtrack the last bordered update (see solvePssDriven).
-      if (!haveUpdate) throw;
+      // Backtrack the last bordered update (see solvePssDriven); with no
+      // update yet the guess itself is outside the integrable region.
+      if (!haveUpdate) return fail("shooting/integration", iter);
       for (size_t i = 0; i < n; ++i) x0[i] = 0.5 * (x0[i] + prevX0[i]);
       period = 0.5 * (period + prevPeriod);
       continue;
     }
-    newtonTotal += pi.newtonIterations;
-    RealVector r(n);
+    st.newtonIterations += pi.newtonIterations;
     for (size_t i = 0; i < n; ++i) r[i] = pi.xEnd[i] - x0[i];
     const Real rNorm = maxAbsVec(r);
+    lastRes = rNorm;
     const Real phaseRes = x0[phaseIndex] - phaseLevel;
     if (rNorm < opt.shootingTol && std::fabs(phaseRes) < opt.shootingTol) {
-      PssResult res = packResult(sys, x0, 0.0, period, opt.stepsPerPeriod,
-                                 opt, iter + 1, newtonTotal, pw);
-      res.autonomous = true;
-      res.phaseIndex = phaseIndex;
-      // d x(T)/dT at the solution, for the adjoint period sensitivity.
-      const Real dT = 1e-4 * period;
-      PeriodIntegration piT = integratePeriod(sys, x0, 0.0, period + dT,
-                                              opt.stepsPerPeriod, opt, false,
-                                              false, pw);
-      res.dxdT.resize(n);
-      for (size_t i = 0; i < n; ++i) {
-        res.dxdT[i] = (piT.xEnd[i] - pi.xEnd[i]) / dT;
-      }
-      return res;
+      st.iterations += iter + 1;
+      return true;
     }
     // dx(T)/dT by finite-differencing the whole integration. The FD step
     // must sit well above the inner Newton noise floor (~updateTol per
@@ -406,12 +428,12 @@ PssResult solvePssAutonomous(const MnaSystem& sys, Real periodGuess,
       // The base integration converged but the dT-perturbed one did not:
       // the iterate sits on the edge of the integrable region. Backtrack
       // like a failed base integration instead of aborting the solve.
-      if (!haveUpdate) throw;
+      if (!haveUpdate) return fail("shooting/integration", iter);
       for (size_t i = 0; i < n; ++i) x0[i] = 0.5 * (x0[i] + prevX0[i]);
       period = 0.5 * (period + prevPeriod);
       continue;
     }
-    newtonTotal += piT.newtonIterations;
+    st.newtonIterations += piT.newtonIterations;
     RealVector dxdT(n);
     for (size_t i = 0; i < n; ++i) dxdT[i] = (piT.xEnd[i] - pi.xEnd[i]) / dT;
 
@@ -429,11 +451,23 @@ PssResult solvePssAutonomous(const MnaSystem& sys, Real periodGuess,
     for (size_t i = 0; i < n; ++i) rhs[i] = -r[i];
     rhs[n] = -phaseRes;
     DenseLU<Real> lu(a);
+    st.borderedPivotRatio = lu.pivotRatio();
     const RealVector upd = lu.solve(rhs);
     prevX0 = x0;
     prevPeriod = period;
     haveUpdate = true;
-    for (size_t i = 0; i < n; ++i) x0[i] += opt.relax * upd[i];
+    // Trust region on the state update (the shooting analog of the inner
+    // Newton's dx clamp): long rings carry near-marginal Floquet modes
+    // (multipliers crowding 1), so Phi - I is nearly singular along them
+    // and an unclamped bordered step can launch the iterate tens of volts
+    // off the orbit.
+    Real updNorm = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      updNorm = std::max(updNorm, std::fabs(upd[i]));
+    }
+    const Real updScale =
+        updNorm > opt.newtonMaxStep ? opt.newtonMaxStep / updNorm : 1.0;
+    for (size_t i = 0; i < n; ++i) x0[i] += opt.relax * updScale * upd[i];
     // Trust region on the period update (the analog of the inner Newton's
     // dx clamp): far from the orbit the bordered Jacobian can demand a
     // huge dT — on multi-wave ring modes it once drove the period negative
@@ -446,30 +480,231 @@ PssResult solvePssAutonomous(const MnaSystem& sys, Real periodGuess,
     period += dPeriod;
     PSMN_CHECK(period > 0.0, "autonomous shooting drove the period negative");
   }
-  throw ConvergenceError("autonomous PSS shooting did not converge");
+  return fail("shooting/stagnation", opt.maxShootingIterations);
 }
 
+}  // namespace
+
+PssResult solvePssAutonomous(const MnaSystem& sys, Real periodGuess,
+                             int phaseIndex, const RealVector& x0guess,
+                             const PssOptions& opt) {
+  PSMN_CHECK(periodGuess > 0.0, "period guess must be positive");
+  const size_t n = sys.size();
+  PSMN_CHECK(phaseIndex >= 0 && phaseIndex < static_cast<int>(n),
+             "bad phase index");
+  PSMN_CHECK(x0guess.size() == n, "bad initial guess size");
+
+  PssWorkspace pw;
+  AutonomousShoot st;
+  st.x0 = x0guess;
+  st.period = periodGuess;
+  FailureDiagnostics diag;
+  bool ok = shootAutonomousCore(sys, st, phaseIndex, opt, pw, diag);
+  bool usedHomotopy = false;
+
+  if (!ok && opt.shuntHomotopyRungs > 0) {
+    // Relaxed-circuit shooting homotopy: a node shunt damps the orbit into
+    // something smoother and more sinusoidal that shooting handles from a
+    // rough guess, then the shunt is walked back toward opt.gshunt with
+    // (x0, T) carried rung to rung. A failed rung keeps the previous
+    // anchor — the next (milder) rung may still converge from it.
+    std::vector<Real> rungs;
+    for (Real g = opt.shuntHomotopyStart;
+         static_cast<int>(rungs.size()) < opt.shuntHomotopyRungs &&
+         g > opt.gshunt;
+         g *= 0.1) {
+      rungs.push_back(g);
+    }
+    st = {};
+    st.x0 = x0guess;
+    st.period = periodGuess;
+    for (Real g : rungs) {
+      PssOptions ropt = opt;
+      ropt.gshunt = g;
+      AutonomousShoot rungSt = st;
+      FailureDiagnostics rungDiag;
+      if (shootAutonomousCore(sys, rungSt, phaseIndex, ropt, pw, rungDiag)) {
+        st = std::move(rungSt);
+      }
+    }
+    ok = shootAutonomousCore(sys, st, phaseIndex, opt, pw, diag);
+    usedHomotopy = ok;
+  }
+  if (!ok) {
+    throw ConvergenceError(
+        "autonomous PSS shooting did not converge: " + diag.describe(),
+        std::move(diag));
+  }
+
+  // Converged-period bracket guard: a multi-wave ring mode converges
+  // perfectly well — to the wrong orbit, with period near guess/k. Reject
+  // it here so drivers (solveRingPss) can restart from a mode-corrected
+  // warmup instead of silently reporting the k-wave solution.
+  if (opt.periodBracketRel > 0.0) {
+    const Real dev = std::fabs(st.period - periodGuess);
+    if (dev > opt.periodBracketRel * periodGuess) {
+      const Real k = std::round(periodGuess / std::max(st.period, 1e-300));
+      const bool subharmonic =
+          k >= 2.0 && std::fabs(st.period * k - periodGuess) <=
+                          opt.periodBracketRel * periodGuess;
+      FailureDiagnostics d;
+      d.analysis = "pss";
+      d.stage = subharmonic ? "shooting/multiwave-mode"
+                            : "shooting/period-bracket";
+      d.iteration = st.iterations;
+      d.residual = st.period;  // the offending period
+      throw ConvergenceError(
+          "autonomous PSS converged outside the period bracket (period " +
+              std::to_string(st.period) + " vs guess " +
+              std::to_string(periodGuess) +
+              (subharmonic ? ", consistent with a " +
+                                 std::to_string(static_cast<int>(k)) +
+                                 "-wave mode" +
+                                 ", bordered pivot ratio " +
+                                 std::to_string(st.borderedPivotRatio)
+                           : std::string())
+              + ")",
+          std::move(d));
+    }
+  }
+
+  PssResult res = packResult(sys, st.x0, 0.0, st.period, opt.stepsPerPeriod,
+                             opt, st.iterations, st.newtonIterations, pw);
+  res.autonomous = true;
+  res.phaseIndex = phaseIndex;
+  res.usedShuntHomotopy = usedHomotopy;
+  // d x(T)/dT at the solution, for the adjoint period sensitivity.
+  const Real dT = 1e-4 * st.period;
+  PeriodIntegration pi0 = integratePeriod(sys, st.x0, 0.0, st.period,
+                                          opt.stepsPerPeriod, opt, false,
+                                          false, pw);
+  PeriodIntegration piT = integratePeriod(sys, st.x0, 0.0, st.period + dT,
+                                          opt.stepsPerPeriod, opt, false,
+                                          false, pw);
+  res.dxdT.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    res.dxdT[i] = (piT.xEnd[i] - pi0.xEnd[i]) / dT;
+  }
+  return res;
+}
+
+namespace {
+
+/// Free-runs the ring from `start` to its limit cycle and measures the
+/// period at stage 0 — the shared tail of both warmup flavors.
+RingWarmup settleRing(const MnaSystem& sys, const RingOscillatorCircuit& osc,
+                      const RealVector& start, Real runTime, Real dt) {
+  const Netlist& nl = sys.netlist();
+  RingWarmup w;
+  const int stage0 = nl.nodeIndex(osc.stages[0]);
+  TranOptions topt;
+  topt.method = IntegrationMethod::kBackwardEuler;
+  topt.initialState = &start;
+  const TransientResult tr = runTransient(sys, 0.0, runTime, dt, topt);
+  const Waveform wave = makeWaveform(tr.times, tr.states, stage0);
+  const Real lo = *std::min_element(wave.values.begin(), wave.values.end());
+  const Real hi = *std::max_element(wave.values.begin(), wave.values.end());
+  const Real mid = 0.5 * (lo + hi);
+  w.periodEstimate = measurePeriod(wave, mid, 3);
+  w.state = tr.finalState;
+  // Phase-anchor on the stage closest to mid-swing at the final state. In
+  // a long ring, most stages sit railed at any instant (the front is
+  // elsewhere), and pinning a railed node gives the shooting solve a
+  // phase row the orbit barely moves along — a near-singular bordered
+  // Jacobian. The switching stage has the largest |dx/dt| instead.
+  w.phaseIndex = stage0;
+  Real best = std::numeric_limits<Real>::max();
+  for (const NodeId stage : osc.stages) {
+    const int idx = nl.nodeIndex(stage);
+    const Real d = std::fabs(w.state[idx] - mid);
+    if (d < best) {
+      best = d;
+      w.phaseIndex = idx;
+    }
+  }
+  return w;
+}
+
+}  // namespace
 
 RingWarmup warmupRingOscillator(const MnaSystem& sys,
                                 const RingOscillatorCircuit& osc,
                                 Real runTime, Real dt) {
   const Netlist& nl = sys.netlist();
-  RingWarmup w;
-  w.phaseIndex = nl.nodeIndex(osc.stages[0]);
   RealVector kick = solveDc(sys, {}).x;
   for (size_t i = 0; i < osc.stages.size(); ++i) {
     kick[nl.nodeIndex(osc.stages[i])] += (i % 2 ? 0.25 : -0.25);
   }
-  TranOptions topt;
-  topt.method = IntegrationMethod::kBackwardEuler;
-  topt.initialState = &kick;
-  const TransientResult tr = runTransient(sys, 0.0, runTime, dt, topt);
-  const Waveform wave = makeWaveform(tr.times, tr.states, w.phaseIndex);
-  const Real lo = *std::min_element(wave.values.begin(), wave.values.end());
-  const Real hi = *std::max_element(wave.values.begin(), wave.values.end());
-  w.periodEstimate = measurePeriod(wave, 0.5 * (lo + hi), 3);
-  w.state = tr.finalState;
-  return w;
+  return settleRing(sys, osc, kick, runTime, dt);
+}
+
+int countRingModes(const MnaSystem& sys, const RingOscillatorCircuit& osc,
+                   std::span<const Real> state) {
+  const Netlist& nl = sys.netlist();
+  const int vddIdx = nl.nodeIndex(osc.vddNode);
+  const Real vdd = vddIdx >= 0 ? state[vddIdx] : 1.0;
+  const Real mid = 0.5 * vdd;
+  const size_t nStages = osc.stages.size();
+  int defects = 0;
+  for (size_t i = 0; i < nStages; ++i) {
+    const bool hi0 = state[nl.nodeIndex(osc.stages[i])] > mid;
+    const bool hi1 = state[nl.nodeIndex(osc.stages[(i + 1) % nStages])] > mid;
+    if (hi0 == hi1) ++defects;
+  }
+  return defects;
+}
+
+RingWarmup modeCorrectedRingWarmup(const MnaSystem& sys,
+                                   const RingOscillatorCircuit& osc,
+                                   Real runTime, Real dt) {
+  const Netlist& nl = sys.netlist();
+  RealVector x = solveDc(sys, {}).x;
+  const int vddIdx = nl.nodeIndex(osc.vddNode);
+  const Real vdd = vddIdx >= 0 ? x[vddIdx] : 1.0;
+  // Railed alternating state: odd stage count makes exactly one adjacent
+  // same-polarity pair, i.e. one circulating front — the fundamental.
+  for (size_t i = 0; i < osc.stages.size(); ++i) {
+    x[nl.nodeIndex(osc.stages[i])] = (i % 2) ? vdd : 0.0;
+  }
+  return settleRing(sys, osc, x, runTime, dt);
+}
+
+PssResult solveRingPss(const MnaSystem& sys, const RingOscillatorCircuit& osc,
+                       const PssOptions& opt, Real warmRunTime, Real warmDt) {
+  PssOptions o = opt;
+  if (o.periodBracketRel <= 0.0) o.periodBracketRel = 0.35;
+  int restarts = 0;
+  RingWarmup w = warmupRingOscillator(sys, osc, warmRunTime, warmDt);
+  for (int attempt = 0;; ++attempt) {
+    if (countRingModes(sys, osc, w.state) != 1) {
+      // The kicked warmup settled on a multi-wave orbit (long rings do
+      // this routinely); rebuild from the railed alternating state, with
+      // a longer settle on each retry.
+      w = modeCorrectedRingWarmup(sys, osc, warmRunTime * (attempt + 1),
+                                  warmDt);
+      ++restarts;
+    }
+    try {
+      PssResult res =
+          solvePssAutonomous(sys, w.periodEstimate, w.phaseIndex, w.state, o);
+      if (!res.states.empty() &&
+          countRingModes(sys, osc, res.states.front()) != 1) {
+        FailureDiagnostics d;
+        d.analysis = "pss";
+        d.stage = "shooting/multiwave-mode";
+        d.residual = res.period;
+        throw ConvergenceError(
+            "ring PSS converged onto a multi-wave orbit", std::move(d));
+      }
+      res.modeRestarts = restarts;
+      return res;
+    } catch (const ConvergenceError&) {
+      if (attempt >= 2) throw;
+      w = modeCorrectedRingWarmup(sys, osc, warmRunTime * (attempt + 2),
+                                  warmDt);
+      ++restarts;
+    }
+  }
 }
 
 }  // namespace psmn

@@ -36,6 +36,21 @@ struct PssOptions {
   /// update, as a fraction of the current period (the dT analog of
   /// newtonMaxStep; keeps far-off starts from running away).
   Real periodMaxRelStep = 0.1;
+  /// Autonomous only: converged-period bracket guard (0 disables). When
+  /// set, a converged period farther than this relative distance from the
+  /// period guess is rejected with ConvergenceError — and classified as a
+  /// multi-wave / subharmonic mode collapse when it lands near guess/k for
+  /// integer k >= 2 (the signature of a ring settling on k circulating
+  /// waves; the bordered-Jacobian pivot ratio lands in the diagnostics as
+  /// supporting evidence, since a degenerate mode drives it toward 0).
+  Real periodBracketRel = 0.0;
+  /// Autonomous only: relaxed-circuit shooting homotopy used when plain
+  /// shooting fails (0 disables). The solve is re-anchored on a damped
+  /// variant of the circuit (gshunt = shuntHomotopyStart, smoother and more
+  /// sinusoidal orbit), then the shunt is relaxed rung by rung toward
+  /// opt.gshunt with (x0, T) carried forward as the next rung's guess.
+  int shuntHomotopyRungs = 3;
+  Real shuntHomotopyStart = 1e-4;
   bool quiet = true;
   /// Linear-solver backend for the period integration, the warmup DC solve,
   /// and the monodromy propagation; kAuto switches to sparse at
@@ -103,6 +118,12 @@ struct PssResult {
   RealMatrix monodromy;
   int shootingIterations = 0;
   size_t newtonIterations = 0;  // total inner iterations (cost reporting)
+  /// Autonomous only: plain shooting failed and the relaxed-circuit
+  /// homotopy ladder produced this solution.
+  bool usedShuntHomotopy = false;
+  /// solveRingPss only: how many times the warmup orbit was rebuilt from
+  /// the railed alternating state to escape a multi-wave mode.
+  int modeRestarts = 0;
 
   size_t stepCount() const { return times.empty() ? 0 : times.size() - 1; }
   Real stepSize() const { return period / static_cast<Real>(stepCount()); }
@@ -164,5 +185,31 @@ struct RingWarmup {
 RingWarmup warmupRingOscillator(const MnaSystem& sys,
                                 const RingOscillatorCircuit& osc,
                                 Real runTime = 30e-9, Real dt = 10e-12);
+
+/// Number of circulating waves on a ring-oscillator state: counts the
+/// adjacent same-polarity stage pairs around the cycle (1 = fundamental).
+/// An odd-N inverter ring cannot alternate perfectly, so every snapshot
+/// has an odd number of "defect" adjacencies — one per circulating
+/// transition front, and the count is conserved as the fronts travel.
+/// Long rings kicked from DC routinely settle on mode 3 or 5.
+int countRingModes(const MnaSystem& sys, const RingOscillatorCircuit& osc,
+                   std::span<const Real> state);
+
+/// Warmup that forces the fundamental mode: starts from the railed
+/// alternating state (stage i at vdd/0), whose single defect — automatic
+/// from odd parity — seeds exactly one circulating front, then free-runs
+/// to the limit cycle like warmupRingOscillator.
+RingWarmup modeCorrectedRingWarmup(const MnaSystem& sys,
+                                   const RingOscillatorCircuit& osc,
+                                   Real runTime = 30e-9, Real dt = 10e-12);
+
+/// Fundamental-mode-anchored autonomous PSS for ring oscillators: warmup,
+/// mode check (countRingModes), shooting with the period-bracket guard
+/// armed, and — when the warmup or the converged orbit lands on a
+/// multi-wave mode — a bounded restart from modeCorrectedRingWarmup.
+/// PssResult::modeRestarts reports the rebuilds.
+PssResult solveRingPss(const MnaSystem& sys, const RingOscillatorCircuit& osc,
+                       const PssOptions& opt = {}, Real warmRunTime = 30e-9,
+                       Real warmDt = 10e-12);
 
 }  // namespace psmn

@@ -1,6 +1,7 @@
 #include "runtime/scenario_sweep.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "engine/transient_sensitivity.hpp"
 
@@ -69,6 +70,27 @@ void runOneScenario(const SweepScenario& sc, SweepResult& out) {
   out.ok = true;
 }
 
+/// One rung of the bounded escalation: tighter stepping, bigger Newton
+/// budgets; the final rung may fall back to backward Euler.
+void tightenScenario(SweepScenario& sc, bool finalAttempt) {
+  const Real f = sc.retry.tightenFactor;
+  if (sc.dt > 0.0 && f > 0.0 && f < 1.0) sc.dt *= f;
+  sc.tran.maxNewton *= 2;
+  sc.pss.maxNewton *= 2;
+  sc.pss.maxShootingIterations += sc.pss.maxShootingIterations / 2;
+  if (finalAttempt && sc.retry.robustFinalAttempt) {
+    sc.tran.method = IntegrationMethod::kBackwardEuler;
+  }
+}
+
+void resetAttemptOutputs(SweepResult& out) {
+  out.times.clear();
+  out.waveform.clear();
+  out.sigma.clear();
+  out.finalState.clear();
+  out.mc = {};
+}
+
 }  // namespace
 
 std::vector<SweepResult> runScenarioSweep(
@@ -81,13 +103,39 @@ std::vector<SweepResult> runScenarioSweep(
       SweepResult& out = results[i];
       out.index = i;
       out.name = scenarios[i].name;
-      // Scenario failures are data, not control flow: production sweeps
-      // must deliver the passing corners even when one corner dies.
-      try {
-        runOneScenario(scenarios[i], out);
-      } catch (const std::exception& err) {
-        out.ok = false;
-        out.error = err.what();
+      // Armed faults live for all of this scenario's attempts: the scope's
+      // hit counters make injection a pure function of the scenario, and a
+      // count=1 fault fires once and lets the retry pass.
+      clearLastFiredFaultSite();
+      std::optional<FaultScope> faults;
+      if (!scenarios[i].faults.empty()) faults.emplace(scenarios[i].faults);
+
+      SweepScenario attempt = scenarios[i];
+      const int maxAttempts = 1 + std::max(0, scenarios[i].retry.maxRetries);
+      for (int a = 0; a < maxAttempts; ++a) {
+        out.attempts = a + 1;
+        resetAttemptOutputs(out);
+        // Scenario failures are data, not control flow: production sweeps
+        // must deliver the passing corners even when one corner dies.
+        try {
+          runOneScenario(attempt, out);
+          out.recovered = a > 0;
+          out.error.clear();
+          break;
+        } catch (const Error& err) {
+          out.ok = false;
+          out.error = err.what();
+          if (const FailureDiagnostics* d = err.diagnostics()) {
+            out.diagnostics = *d;
+            out.hasDiagnostics = true;
+          }
+        } catch (const std::exception& err) {
+          out.ok = false;
+          out.error = err.what();
+        }
+        if (a + 1 < maxAttempts) {
+          tightenScenario(attempt, /*finalAttempt=*/a + 2 == maxAttempts);
+        }
       }
     }
   });

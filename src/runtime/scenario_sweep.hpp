@@ -19,6 +19,7 @@
 #include "engine/transient.hpp"
 #include "rf/pss.hpp"
 #include "runtime/thread_pool.hpp"
+#include "util/fault_injection.hpp"
 
 namespace psmn {
 
@@ -27,6 +28,20 @@ enum class SweepAnalysis {
   kTransientSensitivity,  // waveform + mismatch sigma(t) of `outNode`
   kPssDriven,             // periodic steady-state waveform of `outNode`
   kMcBatch,               // seeded Monte-Carlo batch (mcMeasure/mcNames)
+};
+
+/// Per-scenario bounded-escalation retry policy. Retry k (k = 1..
+/// maxRetries) reruns the failed scenario with the timestep scaled by
+/// tightenFactor^k and the Newton budgets doubled; when robustFinalAttempt
+/// is set the last retry additionally falls back to the backward-Euler
+/// integrator (the most heavily damped one). DC solves inside the analysis
+/// escalate on their own through the gmin/source ladders into arclength
+/// continuation (engine/dc). A scenario that still fails reports its
+/// FailureDiagnostics in the SweepResult instead of aborting the sweep.
+struct SweepRetryPolicy {
+  int maxRetries = 0;        // extra attempts after the first (0 = off)
+  Real tightenFactor = 0.5;  // dt multiplier per retry
+  bool robustFinalAttempt = true;
 };
 
 struct SweepScenario {
@@ -56,6 +71,16 @@ struct SweepScenario {
   McOptions mc;
   std::vector<std::string> mcNames;
   McMeasure mcMeasure;
+
+  /// Retry escalation when this scenario's analysis throws.
+  SweepRetryPolicy retry;
+  /// Deterministic fault injection (tests): the plan is armed in a
+  /// FaultScope around ALL of this scenario's attempts on its evaluating
+  /// slot. FaultScope is thread-confined and the hit counters persist
+  /// across retries, so what fires is a pure function of the scenario —
+  /// never of scheduling — and a count=1 fault fires on the first attempt
+  /// only, exercising exactly one recovery.
+  FaultPlan faults;
 };
 
 struct SweepResult {
@@ -63,6 +88,12 @@ struct SweepResult {
   std::string name;
   bool ok = false;
   std::string error;  // exception text when !ok
+  int attempts = 1;        // 1 + retries actually taken
+  bool recovered = false;  // ok on a retry after at least one failure
+  /// Structured post-mortem of the most recent failed attempt (whether or
+  /// not a later retry recovered). Check `hasDiagnostics` before reading.
+  bool hasDiagnostics = false;
+  FailureDiagnostics diagnostics;
 
   // Waveform analyses.
   std::vector<Real> times;

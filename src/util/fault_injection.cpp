@@ -1,0 +1,79 @@
+#include "util/fault_injection.hpp"
+
+#include <cstring>
+
+namespace psmn {
+
+namespace detail {
+thread_local FaultScope* tlFaultScope = nullptr;
+namespace {
+thread_local std::string tlLastFired;
+}  // namespace
+}  // namespace detail
+
+FaultScope::FaultScope(const FaultPlan& plan) : plan_(plan) {
+  counters_.reserve(plan_.points.size());
+  for (const FaultPoint& p : plan_.points) {
+    bool known = false;
+    for (const SiteCounter& c : counters_) known = known || c.site == p.site;
+    if (!known) counters_.push_back({p.site, 0, 0});
+  }
+  prev_ = detail::tlFaultScope;
+  detail::tlFaultScope = this;
+  clearLastFiredFaultSite();
+}
+
+FaultScope::~FaultScope() { detail::tlFaultScope = prev_; }
+
+int FaultScope::hits(const std::string& site) const {
+  for (const SiteCounter& c : counters_) {
+    if (c.site == site) return c.hits;
+  }
+  return 0;
+}
+
+int FaultScope::fired(const std::string& site) const {
+  for (const SiteCounter& c : counters_) {
+    if (c.site == site) return c.fired;
+  }
+  return 0;
+}
+
+int FaultScope::firedTotal() const {
+  int total = 0;
+  for (const SiteCounter& c : counters_) total += c.fired;
+  return total;
+}
+
+namespace detail {
+
+bool faultFire(const char* site) {
+  FaultScope* scope = tlFaultScope;
+  // Counters track only armed sites: un-armed sites stay on the cheap
+  // "scan found nothing" path and the hot solvers pay one string compare
+  // per armed point, only while a scope is installed.
+  for (FaultScope::SiteCounter& c : scope->counters_) {
+    if (std::strcmp(c.site.c_str(), site) != 0) continue;
+    const int hit = c.hits++;
+    for (const FaultPoint& p : scope->plan_.points) {
+      if (p.site != site) continue;
+      const bool inWindow =
+          hit >= p.firstHit && (p.count < 0 || hit < p.firstHit + p.count);
+      if (inWindow) {
+        ++c.fired;
+        tlLastFired = site;
+        return true;
+      }
+    }
+    return false;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+const std::string& lastFiredFaultSite() { return detail::tlLastFired; }
+
+void clearLastFiredFaultSite() { detail::tlLastFired.clear(); }
+
+}  // namespace psmn

@@ -2,7 +2,25 @@
 
 #include <sstream>
 
-namespace psmn::detail {
+namespace psmn {
+
+std::string FailureDiagnostics::describe() const {
+  std::ostringstream os;
+  os << (analysis.empty() ? "analysis" : analysis);
+  if (!stage.empty()) os << "/" << stage;
+  if (rung >= 0) os << " rung " << rung;
+  if (iteration >= 0) os << " iteration " << iteration;
+  if (hasTime) os << " at t=" << time << "s";
+  if (residual >= 0.0) os << ", residual " << residual;
+  if (!suspectNodes.empty()) {
+    os << ", suspect unknowns:";
+    for (const std::string& n : suspectNodes) os << " " << n;
+  }
+  if (!injectedFault.empty()) os << " [injected: " << injectedFault << "]";
+  return os.str();
+}
+
+namespace detail {
 
 void throwCheckFailure(const char* cond, const char* file, int line,
                        const std::string& msg) {
@@ -12,4 +30,5 @@ void throwCheckFailure(const char* cond, const char* file, int line,
   throw Error(os.str());
 }
 
-}  // namespace psmn::detail
+}  // namespace detail
+}  // namespace psmn

@@ -3,17 +3,58 @@
 // The library reports unrecoverable misuse (bad netlist, singular matrix,
 // non-convergence) via exceptions derived from psmn::Error, following the
 // C++ Core Guidelines (E.2: throw to signal that a function can't do its job).
+//
+// Solver failures additionally carry a structured FailureDiagnostics
+// payload — which analysis died, on which homotopy rung / Newton
+// iteration, at what residual, and which unknowns look responsible — so a
+// scenario sweep can report failures as data (and its retry policy can
+// decide how to escalate) instead of forwarding an opaque string.
 #pragma once
 
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace psmn {
+
+/// Structured post-mortem attached to ConvergenceError / NumericalError by
+/// the solvers. Fields are best-effort: -1 / empty means "not known at the
+/// throw site". Values are doubles (not Real) to keep util/ free of the
+/// numeric layer.
+struct FailureDiagnostics {
+  std::string analysis;  // "dc", "transient", "pss", ...
+  std::string stage;     // "newton", "gmin-ladder", "arclength", "shooting"
+  int rung = -1;         // homotopy rung / ladder attempt index
+  int iteration = -1;    // Newton iteration (or step index) at failure
+  double residual = -1.0;  // last finite residual max-norm
+  double time = 0.0;       // analysis time, when meaningful
+  bool hasTime = false;
+  /// Unknowns with the largest residual magnitude at the failure point —
+  /// the first places to look in the netlist.
+  std::vector<std::string> suspectNodes;
+  /// Fault-injection site that fired on this thread before the failure
+  /// (empty for organic failures). See util/fault_injection.hpp.
+  std::string injectedFault;
+
+  /// One-line human-readable rendering for logs and CLI output.
+  std::string describe() const;
+};
 
 /// Base class for all psmn errors.
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+  Error(const std::string& what, FailureDiagnostics diag)
+      : std::runtime_error(what),
+        diag_(std::make_shared<const FailureDiagnostics>(std::move(diag))) {}
+
+  /// Structured payload, or null when the throw site attached none.
+  /// Shared (not owned) so exceptions stay cheaply copyable.
+  const FailureDiagnostics* diagnostics() const { return diag_.get(); }
+
+ private:
+  std::shared_ptr<const FailureDiagnostics> diag_;
 };
 
 /// Netlist construction / parsing problems.
@@ -22,16 +63,21 @@ class NetlistError : public Error {
   explicit NetlistError(const std::string& what) : Error(what) {}
 };
 
-/// Numerical failures (singular systems, ill-conditioning).
+/// Numerical failures (singular systems, ill-conditioning, non-finite
+/// values escaping a device evaluation).
 class NumericalError : public Error {
  public:
   explicit NumericalError(const std::string& what) : Error(what) {}
+  NumericalError(const std::string& what, FailureDiagnostics diag)
+      : Error(what, std::move(diag)) {}
 };
 
 /// Iterative analyses that failed to converge (Newton, shooting, ...).
 class ConvergenceError : public Error {
  public:
   explicit ConvergenceError(const std::string& what) : Error(what) {}
+  ConvergenceError(const std::string& what, FailureDiagnostics diag)
+      : Error(what, std::move(diag)) {}
 };
 
 namespace detail {

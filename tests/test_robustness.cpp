@@ -1,0 +1,374 @@
+// Robustness tests: deterministic fault injection through the solver
+// stack, structured FailureDiagnostics on thrown errors, pseudo-arclength
+// DC continuation across folds, sweep-level retry escalation with
+// bit-identical results for every jobs count, and fundamental-mode
+// anchoring for large autonomous rings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/controlled.hpp"
+#include "circuit/diode.hpp"
+#include "circuit/passives.hpp"
+#include "circuit/sources.hpp"
+#include "circuit/stdcell.hpp"
+#include "engine/dc.hpp"
+#include "engine/transient.hpp"
+#include "rf/pss.hpp"
+#include "runtime/scenario_sweep.hpp"
+#include "util/fault_injection.hpp"
+
+namespace psmn {
+namespace {
+
+// ------------------------------------------------- fault-injection registry
+
+TEST(FaultInjection, ScopeFiresOnExactHitWindow) {
+  FaultPlan plan;
+  plan.arm("test.site", /*firstHit=*/1, /*count=*/2);
+  FaultScope scope(plan);
+  // Hits 0..3: the armed window is [1, 3).
+  EXPECT_FALSE(faultShouldFire("test.site"));
+  EXPECT_TRUE(faultShouldFire("test.site"));
+  EXPECT_TRUE(faultShouldFire("test.site"));
+  EXPECT_FALSE(faultShouldFire("test.site"));
+  EXPECT_FALSE(faultShouldFire("other.site"));
+  EXPECT_EQ(scope.hits("test.site"), 4);
+  EXPECT_EQ(scope.fired("test.site"), 2);
+  EXPECT_EQ(scope.firedTotal(), 2);
+  EXPECT_EQ(lastFiredFaultSite(), "test.site");
+  clearLastFiredFaultSite();
+  EXPECT_TRUE(lastFiredFaultSite().empty());
+}
+
+TEST(FaultInjection, DisarmedProbeNeverFires) {
+  EXPECT_FALSE(faultShouldFire("dense_lu.factor"));
+  EXPECT_FALSE(faultShouldFire("mna.eval"));
+}
+
+// --------------------------------------------- structured solver post-mortems
+
+TEST(FaultInjection, DcLadderExhaustionCarriesDiagnostics) {
+  // Suppress every DC Newton acceptance: the plain solve, both ladders,
+  // and the arclength anchor all stagnate, so solveDc must throw a
+  // ConvergenceError whose payload names the injected site.
+  Netlist nl;
+  const NodeId top = nl.node("top");
+  const NodeId mid = nl.node("mid");
+  nl.add<VSource>("V1", top, kGround, SourceWave::dc(3.0), nl);
+  nl.add<Resistor>("R1", top, mid, 2e3, nl);
+  nl.add<Resistor>("R2", mid, kGround, 1e3, nl);
+  MnaSystem sys(nl);
+
+  FaultPlan plan;
+  plan.arm("dc.newton.converge", 0, -1);  // every acceptance, forever
+  FaultScope scope(plan);
+  try {
+    solveDc(sys);
+    FAIL() << "solveDc should have thrown";
+  } catch (const ConvergenceError& err) {
+    const FailureDiagnostics* d = err.diagnostics();
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->analysis, "dc");
+    EXPECT_FALSE(d->stage.empty());
+    EXPECT_EQ(d->injectedFault, "dc.newton.converge");
+    // describe() renders the payload for logs; it must mention the site.
+    EXPECT_NE(d->describe().find("dc.newton.converge"), std::string::npos);
+  }
+  EXPECT_GT(scope.firedTotal(), 0);
+}
+
+TEST(FaultInjection, TransientNanSurfacesAsNumericalError) {
+  // Poison the first residual evaluation of the stepping kernel: the
+  // non-finite early-out must classify the failure as numerical (NaN
+  // escape), not as Newton stagnation, and stamp the failure time.
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  nl.add<VSource>("V1", in, kGround, SourceWave::dc(1.0), nl);
+  nl.add<Resistor>("R1", in, out, 1e3, nl);
+  nl.add<Capacitor>("C1", out, kGround, 1e-9, nl);
+  MnaSystem sys(nl);
+
+  TranOptions opt;
+  const RealVector uic(sys.size(), 0.0);  // skip the DC solve (UIC)
+  opt.initialState = &uic;
+
+  FaultPlan plan;
+  plan.arm("mna.eval", 0, 1);
+  FaultScope scope(plan);
+  try {
+    runTransient(sys, 0.0, 1e-6, 1e-8, opt);
+    FAIL() << "runTransient should have thrown";
+  } catch (const NumericalError& err) {
+    const FailureDiagnostics* d = err.diagnostics();
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->analysis, "transient");
+    EXPECT_NE(d->stage.find("non-finite"), std::string::npos);
+    EXPECT_TRUE(d->hasTime);
+    EXPECT_EQ(d->injectedFault, "mna.eval");
+  }
+  EXPECT_EQ(scope.fired("mna.eval"), 1);
+}
+
+// ----------------------------------------------- arclength DC continuation
+
+/// Fold testbench: a node with net negative small-signal conductance
+/// (Vccs, -10 mS against a 1 kOhm feed) clamped by a diode on each side.
+/// The solution curve in the source-ramp parameter lambda is S-shaped with
+/// folds near lambda = +/-0.85, and the only lambda = 1 solution sits on
+/// the far branch (v(a) ~ +0.6 V) — reachable from the lambda = 0 anchor
+/// only by tracing around the lower fold, which is exactly what defeats
+/// monotone source ramping.
+NodeId buildFoldDeck(Netlist& nl) {
+  const NodeId s = nl.node("s");
+  const NodeId a = nl.node("a");
+  nl.add<VSource>("V1", s, kGround, SourceWave::dc(5.0), nl);
+  nl.add<Resistor>("R1", s, a, 1e3, nl);
+  nl.add<Vccs>("Gneg", a, kGround, a, kGround, -1e-2, nl);
+  DiodeModel dm;
+  dm.is = 1e-12;
+  nl.add<Diode>("Dp", a, kGround, dm, nl);
+  nl.add<Diode>("Dn", kGround, a, dm, nl);
+  return a;
+}
+
+TEST(DcArclength, TraversesFoldWithTwoSidedTrace) {
+  Netlist nl;
+  const NodeId a = buildFoldDeck(nl);
+  MnaSystem sys(nl);
+
+  DcOptions opt;
+  DcWorkspace ws;
+  RealVector x;
+  int iterations = 0, steps = 0;
+  ASSERT_TRUE(solveDcArclength(sys, x, opt, ws, &iterations, &steps));
+  EXPECT_GT(steps, 0);
+  // The lambda = 1 solution lies on the diode-clamped upper branch.
+  EXPECT_GT(x[nl.nodeIndex(a)], 0.5);
+  EXPECT_LT(x[nl.nodeIndex(a)], 0.7);
+  RealVector f;
+  sys.evalDense(x, 0.0, &f, nullptr, nullptr, nullptr, {});
+  for (Real v : f) EXPECT_LT(std::fabs(v), 1e-8);
+}
+
+TEST(DcArclength, SolveDcEscalatesToArclengthOnFoldDeck) {
+  // gminSteps = 0: the gmin shunt happens to linearize this single-node
+  // fold (at full drive the shunted curve is monotone), masking the
+  // source-ramp fold the deck models; disabling it isolates the class of
+  // circuits whose every ramped ladder stalls on a vanished branch.
+  Netlist nl;
+  const NodeId a = buildFoldDeck(nl);
+  MnaSystem sys(nl);
+
+  DcOptions opt;
+  opt.gminSteps = 0;
+  const DcResult dc = solveDc(sys, opt);
+  EXPECT_TRUE(dc.usedArclength);
+  EXPECT_GT(dc.arclengthSteps, 0);
+  EXPECT_GT(dc.x[nl.nodeIndex(a)], 0.5);
+  RealVector f;
+  sys.evalDense(dc.x, 0.0, &f, nullptr, nullptr, nullptr, {});
+  for (Real v : f) EXPECT_LT(std::fabs(v), 1e-8);
+}
+
+TEST(DcArclength, DefaultOptionsStillSolveFoldDeck) {
+  // With the full escalation chain enabled the deck must solve regardless
+  // of which strategy lands it.
+  Netlist nl;
+  const NodeId a = buildFoldDeck(nl);
+  MnaSystem sys(nl);
+  const DcResult dc = solveDc(sys);
+  EXPECT_GT(dc.x[nl.nodeIndex(a)], 0.5);
+  RealVector f;
+  sys.evalDense(dc.x, 0.0, &f, nullptr, nullptr, nullptr, {});
+  for (Real v : f) EXPECT_LT(std::fabs(v), 1e-8);
+}
+
+// ------------------------------------------------- sweep retry + recovery
+
+std::unique_ptr<Netlist> makeRcNetlist() {
+  auto nl = std::make_unique<Netlist>();
+  const NodeId in = nl->node("in");
+  const NodeId out = nl->node("out");
+  nl->add<VSource>("V1", in, kGround, SourceWave::dc(1.0), *nl);
+  nl->add<Resistor>("R1", in, out, 1e3, *nl);
+  nl->add<Capacitor>("C1", out, kGround, 1e-9, *nl);
+  return nl;
+}
+
+/// The armed-sweep fixture: six RC transient scenarios, two of which are
+/// injected with failures the retry policy must recover, one with an
+/// unrecoverable (forever-armed) failure, and one whose injected LU
+/// breakdown the DC ladders absorb without any sweep-level retry.
+std::vector<SweepScenario> armedScenarios(const RealVector& uic) {
+  std::vector<SweepScenario> scenarios;
+  for (int k = 0; k < 6; ++k) {
+    SweepScenario sc;
+    sc.name = "sc" + std::to_string(k);
+    sc.make = makeRcNetlist;
+    sc.analysis = SweepAnalysis::kTransient;
+    sc.outNode = "out";
+    sc.t1 = 1e-6;
+    sc.dt = 1e-8;
+    sc.retry.maxRetries = 2;
+    scenarios.push_back(std::move(sc));
+  }
+  // sc1: NaN poisoned into the first transient residual evaluation (UIC
+  // skips the DC solve, so the single armed hit lands in the stepping
+  // kernel). Attempt 1 dies with NumericalError; attempt 2 is clean.
+  scenarios[1].tran.initialState = &uic;
+  scenarios[1].faults.arm("mna.eval", 0, 1);
+  // sc2: suppress transient Newton acceptances for exactly the first
+  // attempt's budget. Attempt 1 exhausts maxNewton and throws; the retry
+  // (doubled budget) outlives the few leftover fires and converges.
+  scenarios[2].faults.arm("tran.newton.converge", 0,
+                          scenarios[2].tran.maxNewton);
+  // sc3: one dense-LU pivot breakdown in the DC init. The gmin ladder
+  // absorbs it inside solveDc — no sweep-level retry should be consumed.
+  scenarios[3].faults.arm("dense_lu.factor", 0, 1);
+  // sc4: unrecoverable — every residual evaluation is poisoned.
+  scenarios[4].tran.initialState = &uic;
+  scenarios[4].faults.arm("mna.eval", 0, -1);
+  return scenarios;
+}
+
+void checkArmedSweep(const std::vector<SweepResult>& results) {
+  ASSERT_EQ(results.size(), 6u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].index, i);
+    EXPECT_EQ(results[i].name, "sc" + std::to_string(i));
+  }
+  // Clean scenarios: first attempt, no recovery.
+  for (size_t i : {size_t{0}, size_t{5}}) {
+    EXPECT_TRUE(results[i].ok);
+    EXPECT_EQ(results[i].attempts, 1);
+    EXPECT_FALSE(results[i].recovered);
+  }
+  // sc1 / sc2: recovered on the first retry, diagnostics of the failed
+  // attempt retained.
+  for (size_t i : {size_t{1}, size_t{2}}) {
+    EXPECT_TRUE(results[i].ok) << results[i].error;
+    EXPECT_EQ(results[i].attempts, 2);
+    EXPECT_TRUE(results[i].recovered);
+    EXPECT_TRUE(results[i].hasDiagnostics);
+  }
+  EXPECT_EQ(results[1].diagnostics.injectedFault, "mna.eval");
+  EXPECT_EQ(results[2].diagnostics.injectedFault, "tran.newton.converge");
+  // sc3: the DC ladders recovered inside the analysis; the sweep never saw
+  // a failure.
+  EXPECT_TRUE(results[3].ok);
+  EXPECT_EQ(results[3].attempts, 1);
+  EXPECT_FALSE(results[3].recovered);
+  // sc4: all attempts exhausted; failure reported as data.
+  EXPECT_FALSE(results[4].ok);
+  EXPECT_EQ(results[4].attempts, 3);
+  EXPECT_FALSE(results[4].recovered);
+  EXPECT_TRUE(results[4].hasDiagnostics);
+  EXPECT_EQ(results[4].diagnostics.injectedFault, "mna.eval");
+  EXPECT_FALSE(results[4].error.empty());
+}
+
+TEST(SweepRetry, RecoversInjectedFaultsBitIdenticallyAcrossJobs) {
+  RealVector uic(4, 0.0);  // in, out, V1 branch (sized by the first make)
+  {
+    const auto nl = makeRcNetlist();
+    nl->finalize();
+    uic.assign(MnaSystem(*nl).size(), 0.0);
+  }
+  const std::vector<SweepScenario> scenarios = armedScenarios(uic);
+
+  std::vector<std::vector<SweepResult>> runs;
+  for (size_t jobs : {size_t{1}, size_t{2}, size_t{8}}) {
+    ThreadPool pool(jobs);
+    runs.push_back(runScenarioSweep(scenarios, pool));
+    checkArmedSweep(runs.back());
+  }
+  // Bit-identical across jobs counts: injection and retry are pure
+  // functions of the scenario, never of scheduling.
+  for (size_t r = 1; r < runs.size(); ++r) {
+    for (size_t i = 0; i < runs[0].size(); ++i) {
+      const SweepResult& ref = runs[0][i];
+      const SweepResult& got = runs[r][i];
+      EXPECT_EQ(got.ok, ref.ok);
+      EXPECT_EQ(got.attempts, ref.attempts);
+      EXPECT_EQ(got.recovered, ref.recovered);
+      EXPECT_EQ(got.error, ref.error);
+      ASSERT_EQ(got.times.size(), ref.times.size());
+      ASSERT_EQ(got.waveform.size(), ref.waveform.size());
+      for (size_t k = 0; k < ref.waveform.size(); ++k) {
+        EXPECT_EQ(got.times[k], ref.times[k]);
+        EXPECT_EQ(got.waveform[k], ref.waveform[k]);  // bitwise
+      }
+      ASSERT_EQ(got.finalState.size(), ref.finalState.size());
+      for (size_t k = 0; k < ref.finalState.size(); ++k) {
+        EXPECT_EQ(got.finalState[k], ref.finalState[k]);
+      }
+    }
+  }
+}
+
+// -------------------------------------------- ring fundamental-mode anchor
+
+TEST(RingMode, CountRingModesClassifiesRailedPatterns) {
+  auto kit = ProcessKit::cmos130();
+  Netlist nl;
+  RingOscillatorOptions ropt;
+  ropt.stages = 5;
+  const RingOscillatorCircuit osc = buildRingOscillator(nl, kit, ropt);
+  MnaSystem sys(nl);
+
+  RealVector st(sys.size(), 0.0);
+  st[nl.nodeIndex(osc.vddNode)] = kit.vdd;
+  auto setStages = [&](std::initializer_list<int> highs) {
+    for (int i = 0; i < ropt.stages; ++i) {
+      st[nl.nodeIndex(osc.stages[i])] = 0.0;
+    }
+    for (int i : highs) st[nl.nodeIndex(osc.stages[i])] = kit.vdd;
+  };
+  // H L H L H: one adjacent same-polarity pair -> one circulating front.
+  setStages({0, 2, 4});
+  EXPECT_EQ(countRingModes(sys, osc, st), 1);
+  // H H L L H: three same-polarity pairs -> three fronts (3-wave mode).
+  setStages({0, 1, 4});
+  EXPECT_EQ(countRingModes(sys, osc, st), 3);
+}
+
+TEST(RingMode, SixtyThreeStageRingLandsFundamentalMode) {
+  // The regression behind the mode-anchoring machinery: a 63-stage ring
+  // warm-started from an alternating kick settles onto a multi-wave orbit
+  // (k circulating fronts), and plain shooting then happily converges onto
+  // that k-wave limit cycle. solveRingPss must detect the wrong mode and
+  // deliver the fundamental instead.
+  auto kit = ProcessKit::cmos130();
+  Netlist nl;
+  RingOscillatorOptions ropt;
+  ropt.stages = 63;
+  const RingOscillatorCircuit osc = buildRingOscillator(nl, kit, ropt);
+  MnaSystem sys(nl);
+
+  PssOptions opt;
+  opt.stepsPerPeriod = 630;  // resolve the ~T/126 stage delay on the grid
+  const PssResult res =
+      solveRingPss(sys, osc, opt, /*warmRunTime=*/200e-9, /*warmDt=*/25e-12);
+  EXPECT_TRUE(res.autonomous);
+  EXPECT_GT(res.period, 0.0);
+  ASSERT_FALSE(res.states.empty());
+  EXPECT_EQ(countRingModes(sys, osc, res.states.front()), 1);
+
+  // Cross-check the period against a small ring: the fundamental scales
+  // linearly with stage count (2 * N * t_stage), so a k-wave collapse
+  // (period near T/k) would miss this bracket by an integer factor.
+  Netlist nl5;
+  RingOscillatorOptions r5;
+  r5.stages = 5;
+  const RingOscillatorCircuit osc5 = buildRingOscillator(nl5, kit, r5);
+  MnaSystem sys5(nl5);
+  const PssResult res5 = solveRingPss(sys5, osc5, opt);
+  const Real scaled = res5.period * 63.0 / 5.0;
+  EXPECT_GT(res.period, 0.75 * scaled);
+  EXPECT_LT(res.period, 1.35 * scaled);
+}
+
+}  // namespace
+}  // namespace psmn
