@@ -1,0 +1,46 @@
+bjt differential amplifier with degeneration and mirror mismatch
+* Degenerated npn pair over a mirrored tail sink, loaded by a pnp current
+* mirror; single-ended output taken at the mirror side into RL. The model
+* cards carry the paper's per-device mismatch annotations (ais on the
+* saturation current, abf on beta), and the degeneration resistors add
+* sigma= spreads, so the deck is ready for the seeded sweep:
+*
+*   netlist_runner examples/decks/bjt_diffamp.sp --sweep mc:64 --jobs 0 --probe out
+*
+* Nominal run (operating point + 10 mV step response):
+*
+*   netlist_runner examples/decks/bjt_diffamp.sp
+*
+.model nqx npn is=5f bf=200 br=4 vaf=100 cje=1p cjc=0.5p tf=0.3n ais=0.02 abf=0.01
+.model pqx pnp is=2f bf=50 br=2 vaf=50 cje=1.5p cjc=1p tf=1n ais=0.02 abf=0.01
+
+VCC vcc 0 5
+VEE vee 0 -5
+VINP inp 0 PULSE(0 0.01 100n 10n 10n 0.5u 1u)
+VINN inn 0 0
+
+* Bias: RB sets ~1.1 mA in the diode reference; the area=2 tail sink
+* mirrors it up to ~2.2 mA.
+RB vcc nb 8.2k
+QB nb nb vee nqx
+QT tail nb vee nqx area=2
+
+* Degenerated input pair.
+Q1 l1 inp e1 nqx
+Q2 out inn e2 nqx
+RE1 e1 tail 100 sigma=0.5
+RE2 e2 tail 100 sigma=0.5
+
+* Degenerated pnp mirror load; the diode side is l1, the output side
+* drives RL directly.
+Q3 l1 l1 m1 pqx
+Q4 out l1 m2 pqx
+RM1 m1 vcc 100 sigma=0.5
+RM2 m2 vcc 100 sigma=0.5
+
+RL out 0 10k
+CL out 0 2p
+
+.op
+.tran 2n 1u
+.end

@@ -1,0 +1,39 @@
+push-pull class-ab bjt output stage with complementary power models
+* Diode-biased push-pull follower: the class-AB string (QA1/QA2) rides
+* around the input node, so the npn and pnp followers each idle one
+* junction drop away from the output and hand over smoothly through the
+* crossover. The power output devices use their own model cards (lower
+* beta, higher IS than the small-signal pair in bjt_diffamp.sp) plus
+* area=2 scaling — together the two decks form the example model-card
+* corpus for the Ebers-Moll device.
+*
+*   netlist_runner examples/decks/bjt_outputstage.sp
+*   netlist_runner examples/decks/bjt_outputstage.sp --sweep mc:64 --jobs 0 --probe out
+*
+.model nsd npn is=5f bf=200 br=4 vaf=100 cje=1p cjc=0.5p tf=0.3n ais=0.02 abf=0.01
+.model npow npn is=10f bf=80 br=3 vaf=60 cje=4p cjc=2p tf=1n ais=0.03 abf=0.015
+.model ppow pnp is=5f bf=40 br=2 vaf=40 cje=6p cjc=4p tf=2.5n ais=0.03 abf=0.015
+
+VCC vcc 0 5
+VEE vee 0 -5
+VIN in 0 PULSE(0 1 100n 20n 20n 0.4u 1u)
+
+* Bias legs set ~1 mA through the class-AB string; the string straddles
+* the input so abt/abb track in +/- one V_BE.
+RB1 vcc abt 4.3k
+QA1 abt abt in nsd
+QA2 in in abb nsd
+RB2 abb vee 4.3k
+
+* Complementary followers with current-sense resistors into the load.
+QO1 vcc abt so1 npow area=2
+QO2 vee abb so2 ppow area=2
+RS1 so1 out 27
+RS2 so2 out 27
+
+RL out 0 1k
+CL out 0 10p
+
+.op
+.tran 2n 1u
+.end

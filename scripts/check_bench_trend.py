@@ -41,13 +41,15 @@ import json
 import sys
 
 # The benchmarks that guard the product's hot paths: transient stepping,
-# multi-RHS sensitivity, sparse refactorization, and shooting PSS.
+# multi-RHS sensitivity, sparse refactorization, shooting PSS, and the
+# end-to-end BJT op-amp deck (bench_bjt_opamp, gated in its own CI step).
 HOT_PREFIXES = (
     "BM_TransientStep",
     "BM_TranSens",
     "BM_SparseLuRefactor",
     "BM_SparseLuSolveMulti",
     "BM_PssShooting",
+    "BM_BjtOpAmp",
 )
 ANCHOR = "BM_DenseLuFactor/64"
 

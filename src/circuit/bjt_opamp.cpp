@@ -1,0 +1,153 @@
+#include "circuit/bjt_opamp.hpp"
+
+#include "circuit/passives.hpp"
+#include "circuit/sources.hpp"
+
+namespace psmn {
+
+BjtKit BjtKit::bipolar5(Real mismatchScale) {
+  BjtKit kit;
+  kit.mismatchScale = mismatchScale;
+
+  auto npn = std::make_shared<BjtModel>();
+  npn->is = 5e-15;
+  npn->bf = 200.0;
+  npn->br = 4.0;
+  npn->vaf = 100.0;
+  npn->cje = 1e-12;
+  npn->cjc = 0.5e-12;
+  npn->tf = 0.3e-9;
+  npn->ais = 0.02 * mismatchScale;
+  npn->abf = 0.01 * mismatchScale;
+
+  auto pnp = std::make_shared<BjtModel>();
+  pnp->pnp = true;
+  pnp->is = 2e-15;
+  pnp->bf = 50.0;
+  pnp->br = 2.0;
+  pnp->vaf = 50.0;
+  pnp->cje = 1.5e-12;
+  pnp->cjc = 1e-12;
+  pnp->tf = 1e-9;
+  pnp->ais = 0.02 * mismatchScale;
+  pnp->abf = 0.01 * mismatchScale;
+
+  kit.npn = std::move(npn);
+  kit.pnp = std::move(pnp);
+  return kit;
+}
+
+Bjt* BjtOpAmpCircuit::bjt(const std::string& name) const {
+  for (Bjt* q : bjts) {
+    if (q->name() == name) return q;
+  }
+  return nullptr;
+}
+
+BjtOpAmpCircuit buildBjtOpAmp(Netlist& nl, const BjtKit& kit, NodeId inp,
+                              NodeId inn, NodeId out,
+                              const BjtOpAmpOptions& opt) {
+  BjtOpAmpCircuit c;
+  c.inp = inp;
+  c.inn = inn;
+  c.out = out;
+  c.vccNode = nl.node("vcc");
+  c.veeNode = nl.node("vee");
+  const NodeId vcc = c.vccNode, vee = c.veeNode;
+
+  const NodeId pb = nl.node("pb"), nb = nl.node("nb");
+  const NodeId ef1 = nl.node("ef1"), ef2 = nl.node("ef2");
+  const NodeId pe1 = nl.node("pe1"), pe2 = nl.node("pe2");
+  const NodeId m1e = nl.node("m1e"), m2e = nl.node("m2e");
+  const NodeId mb = nl.node("mb"), ge = nl.node("ge");
+  const NodeId abm = nl.node("abm");
+  const NodeId so1 = nl.node("so1"), so2 = nl.node("so2");
+  c.l1 = nl.node("l1");
+  c.l2 = nl.node("l2");
+  c.abt = nl.node("abt");
+  c.abb = nl.node("abb");
+  c.tail = nl.node("tail");
+
+  nl.add<VSource>("VCC", vcc, kGround, SourceWave::dc(kit.vcc), nl);
+  nl.add<VSource>("VEE", vee, kGround, SourceWave::dc(kit.vee), nl);
+
+  auto addQ = [&](const std::string& name, NodeId qc, NodeId qb, NodeId qe,
+                  bool pnp) {
+    c.bjts.push_back(
+        &nl.add<Bjt>(name, qc, qb, qe, pnp ? kit.pnp : kit.npn, 1.0, nl));
+  };
+  const Real rSigma = opt.rDegenSigma * kit.mismatchScale;
+
+  // Bias chain: one resistor sets the master current; pb/nb are the pnp
+  // and npn mirror reference rails.
+  addQ("QB1", pb, pb, vcc, true);
+  nl.add<Resistor>("RB", pb, nb, opt.rBias, nl);
+  addQ("QB2", nb, nb, vee, false);
+
+  // Input emitter followers with pnp current-source loads: shift the
+  // inputs one V_EB up so the npn pair's emitters sit near the inputs and
+  // the tail sink keeps full headroom. The mirror-diode side (l1) inverts
+  // once more through the second stage, so the QD1 branch is the
+  // INVERTING input and the QD2/l2 branch the non-inverting one.
+  addQ("QS1", ef1, pb, vcc, true);
+  addQ("QS2", ef2, pb, vcc, true);
+  addQ("QE1", vee, inn, ef1, true);
+  addQ("QE2", vee, inp, ef2, true);
+
+  // Input stage: degenerated npn differential pair over a mirrored tail
+  // sink, loaded by a degenerated pnp mirror with a beta-helper (QMH
+  // supplies the mirror base currents so they do not unbalance l1).
+  addQ("QD1", c.l1, ef1, pe1, false);
+  addQ("QD2", c.l2, ef2, pe2, false);
+  nl.add<Resistor>("RE1", pe1, c.tail, opt.rDegen, nl, rSigma);
+  nl.add<Resistor>("RE2", pe2, c.tail, opt.rDegen, nl, rSigma);
+  addQ("QT", c.tail, nb, vee, false);
+  addQ("QM1", c.l1, mb, m1e, true);
+  addQ("QM2", c.l2, mb, m2e, true);
+  nl.add<Resistor>("RM1", m1e, vcc, opt.rDegen, nl, rSigma);
+  nl.add<Resistor>("RM2", m2e, vcc, opt.rDegen, nl, rSigma);
+  addQ("QMH", vee, c.l1, mb, true);
+
+  // Second stage: pnp common-emitter against a mirrored npn sink, Miller
+  // compensated across the stage. The class-AB string rides between the
+  // stage output (abt) and the sink (abb).
+  addQ("QG", c.abt, c.l2, ge, true);
+  nl.add<Resistor>("REG", ge, vcc, opt.rGain, nl);
+  addQ("QL", c.abb, nb, vee, false);
+  const NodeId cz = nl.node("cz");
+  nl.add<Capacitor>("CC", c.abt, cz, opt.cComp, nl);
+  nl.add<Resistor>("RZ", cz, c.l2, opt.rZero, nl);
+  addQ("QA1", c.abt, c.abt, abm, false);
+  addQ("QA2", abm, abm, c.abb, false);
+
+  // Complementary output followers with current-sense resistors; QP1/QP2
+  // are off at the quiescent ~15 mV sense drop and steal the output
+  // drive only under overload.
+  addQ("QO1", vcc, c.abt, so1, false);
+  addQ("QO2", vee, c.abb, so2, true);
+  nl.add<Resistor>("RS1", so1, out, opt.rShort, nl);
+  nl.add<Resistor>("RS2", so2, out, opt.rShort, nl);
+  addQ("QP1", c.abt, so1, out, false);
+  addQ("QP2", c.abb, so2, out, true);
+
+  return c;
+}
+
+BjtFollowerTestbench buildBjtFollower(Netlist& nl, const BjtKit& kit,
+                                      const BjtFollowerOptions& opt) {
+  BjtFollowerTestbench tb;
+  tb.in = nl.node("in");
+  tb.out = nl.node("out");
+  // inn == out: unity-gain feedback.
+  tb.amp = buildBjtOpAmp(nl, kit, tb.in, tb.out, tb.out, opt.amp);
+  nl.add<VSource>(
+      "VIN", tb.in, kGround,
+      SourceWave::pulse(0.0, opt.vStep, opt.tStep, opt.tEdge, opt.tEdge,
+                        1.0, 2.0),
+      nl);
+  nl.add<Resistor>("RL", tb.out, kGround, opt.rLoad, nl);
+  nl.add<Capacitor>("CL", tb.out, kGround, opt.cLoad, nl);
+  return tb;
+}
+
+}  // namespace psmn

@@ -1,0 +1,94 @@
+// Bipolar benchmark circuit: a two-stage, 20-transistor class-AB op-amp
+// in the spirit of the classic general-purpose parts (741/NE5534 family),
+// built from Bjt devices on a +/-5 V bipolar kit. It is the analog
+// counterpart of the MOS decks in stdcell.hpp: every junction-device code
+// path — Ebers-Moll stamps, Early effect, depletion/diffusion charges,
+// IS/BF mismatch injection — is exercised through a realistic DC bias
+// chain, a compensated two-stage loop, and a feedback testbench whose
+// output sigma the sensitivity flow must reproduce against Monte Carlo.
+//
+// Topology (all currents ~1 mA from one bias resistor):
+//
+//   QB1(pnp diode) - RB - QB2(npn diode)     bias chain, pb / nb rails
+//   QS1, QS2 (pnp)                           1 mA sources for the input EFs
+//   QE1, QE2 (pnp emitter followers)         level-shift the inputs up
+//   QD1, QD2 (npn diff pair) + RE1/RE2       input stage, QT tail sink
+//   QM1, QM2 (pnp mirror) + RM1/RM2 + QMH    degenerated load, beta helper
+//   QG (pnp CE) + REG, QL (npn sink)         second stage, CC Miller cap
+//   QA1, QA2 (npn diodes)                    class-AB bias string
+//   QO1 (npn EF), QO2 (pnp EF) + RS1/RS2     complementary output
+//   QP1 (npn), QP2 (pnp)                     short-circuit protection (off)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/bjt.hpp"
+#include "circuit/netlist.hpp"
+
+namespace psmn {
+
+/// Bipolar process kit: npn/pnp models + supplies. `mismatchScale`
+/// multiplies the Pelgrom-style area coefficients AIS/ABF (and is applied
+/// to the resistor sigmas by the builder).
+struct BjtKit {
+  std::shared_ptr<const BjtModel> npn;
+  std::shared_ptr<const BjtModel> pnp;
+  Real vcc = 5.0;
+  Real vee = -5.0;
+  Real mismatchScale = 1.0;
+
+  static BjtKit bipolar5(Real mismatchScale = 1.0);
+};
+
+struct BjtOpAmpOptions {
+  Real rBias = 8.2e3;     // sets the ~1 mA master current
+  Real rDegen = 100.0;    // RE1/RE2 and RM1/RM2 degeneration
+  Real rDegenSigma = 0.5; // absolute mismatch sigma of the 100 ohm resistors
+  Real rGain = 100.0;     // REG, second-stage local feedback
+  Real rShort = 27.0;     // RS1/RS2 output current-sense resistors
+  Real cComp = 200e-12;   // CC Miller capacitor (fu ~ Gm1 / 2*pi*CC)
+  /// Series zero-nulling resistor for CC, ~1/gm of the second stage: the
+  /// raw Miller feedforward zero (gm2/CC, right half plane) would land on
+  /// top of fu and turn the follower into a 12 MHz oscillator.
+  Real rZero = 150.0;
+};
+
+struct BjtOpAmpCircuit {
+  NodeId vccNode, veeNode, inp, inn, out;
+  NodeId l1, l2, abt, abb, tail;
+  std::vector<Bjt*> bjts;  // all 20, in schematic order
+  Bjt* bjt(const std::string& name) const;
+};
+
+/// Builds the op-amp between the caller's `inp`, `inn` and `out` nodes
+/// (pass the same NodeId for `inn` and `out` to close a unity-gain loop)
+/// and adds its +/-5 V supply sources.
+BjtOpAmpCircuit buildBjtOpAmp(Netlist& nl, const BjtKit& kit, NodeId inp,
+                              NodeId inn, NodeId out,
+                              const BjtOpAmpOptions& opt = {});
+
+/// Unity-gain follower testbench: input step source + output load. The
+/// output tracks the step, so the settled output sigma is the amplifier's
+/// input-referred offset sigma — the quantity the transient-sensitivity
+/// flow is validated against Monte Carlo on.
+struct BjtFollowerTestbench {
+  BjtOpAmpCircuit amp;
+  NodeId in;   // driven input
+  NodeId out;  // load node == inverting input
+};
+
+struct BjtFollowerOptions {
+  BjtOpAmpOptions amp;
+  Real vStep = 0.2;       // input step amplitude
+  Real tStep = 100e-9;    // step start
+  Real tEdge = 20e-9;     // step rise time
+  Real rLoad = 10e3;
+  Real cLoad = 100e-12;
+};
+
+BjtFollowerTestbench buildBjtFollower(Netlist& nl, const BjtKit& kit,
+                                      const BjtFollowerOptions& opt = {});
+
+}  // namespace psmn

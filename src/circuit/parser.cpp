@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 
+#include "circuit/bjt.hpp"
 #include "circuit/controlled.hpp"
 #include "circuit/diode.hpp"
 #include "circuit/mosfet.hpp"
@@ -56,12 +57,21 @@ struct KeyValues {
 };
 
 /// Parses trailing "key value" pairs starting at index `start` (tokenize
-/// already split 'key=value' into two tokens).
+/// already split 'key=value' into two tokens). Every key must appear in
+/// `allowed` — an unrecognized parameter is a hard error with the line
+/// number, never a silent default.
 KeyValues keyValues(const std::vector<std::string>& toks, size_t start,
-                    int line) {
+                    int line,
+                    std::initializer_list<const char*> allowed) {
   KeyValues out;
   for (size_t i = start; i + 1 < toks.size(); i += 2) {
-    out.kv[toLower(toks[i])] = number(toks[i + 1], line);
+    const std::string key = toLower(toks[i]);
+    bool known = false;
+    for (const char* a : allowed) known = known || key == a;
+    if (!known) fail(line, "unknown parameter '" + toks[i] + "'");
+    if (!out.kv.emplace(key, number(toks[i + 1], line)).second) {
+      fail(line, "duplicate parameter '" + toks[i] + "'");
+    }
   }
   if ((toks.size() - start) % 2 != 0) {
     fail(line, "dangling token '" + toks.back() + "' in parameter list");
@@ -110,6 +120,11 @@ SourceWave parseWave(const std::vector<std::string>& toks, size_t i,
 struct ModelSet {
   std::map<std::string, std::shared_ptr<const MosModel>> mos;
   std::map<std::string, DiodeModel> diode;
+  std::map<std::string, std::shared_ptr<const BjtModel>> bjt;
+
+  bool has(const std::string& name) const {
+    return mos.count(name) || diode.count(name) || bjt.count(name);
+  }
 };
 
 void parseModel(const std::vector<std::string>& toks, int line,
@@ -117,8 +132,15 @@ void parseModel(const std::vector<std::string>& toks, int line,
   if (toks.size() < 3) fail(line, ".model needs a name and a type");
   const std::string name = toLower(toks[1]);
   const std::string type = toLower(toks[2]);
-  const KeyValues kv = keyValues(toks, 3, line);
+  // One shared namespace for all model types: a redefinition is an error
+  // (silently overwriting the first card would retarget every earlier
+  // element reference).
+  if (models.has(name)) fail(line, "duplicate model name '" + toks[1] + "'");
   if (type == "nmos" || type == "pmos") {
+    const KeyValues kv = keyValues(
+        toks, 3, line,
+        {"kp", "vto", "vt0", "lambda", "gamma", "phi", "cox", "cj", "cgso",
+         "cgdo", "avt", "abeta", "vsmooth", "ldiff"});
     auto m = std::make_shared<MosModel>();
     m->pmos = (type == "pmos");
     m->kp = kv.get("kp", m->kp);
@@ -132,13 +154,43 @@ void parseModel(const std::vector<std::string>& toks, int line,
     m->cgdo = kv.get("cgdo", m->cgdo);
     m->avt = kv.get("avt", m->avt);
     m->abeta = kv.get("abeta", m->abeta);
+    m->vsmooth = kv.get("vsmooth", m->vsmooth);
+    m->ldiff = kv.get("ldiff", m->ldiff);
     models.mos[name] = std::move(m);
   } else if (type == "d") {
+    const KeyValues kv = keyValues(toks, 3, line, {"is", "n", "cj0"});
     DiodeModel d;
     d.is = kv.get("is", d.is);
     d.n = kv.get("n", d.n);
     d.cj0 = kv.get("cj0", d.cj0);
     models.diode[name] = d;
+  } else if (type == "npn" || type == "pnp") {
+    const KeyValues kv = keyValues(
+        toks, 3, line,
+        {"is", "bf", "br", "nf", "nr", "vaf", "cje", "cjc", "vje", "vjc",
+         "mje", "mjc", "fc", "tf", "rb", "rc", "re", "ais", "abf"});
+    auto m = std::make_shared<BjtModel>();
+    m->pnp = (type == "pnp");
+    m->is = kv.get("is", m->is);
+    m->bf = kv.get("bf", m->bf);
+    m->br = kv.get("br", m->br);
+    m->nf = kv.get("nf", m->nf);
+    m->nr = kv.get("nr", m->nr);
+    m->vaf = kv.get("vaf", m->vaf);
+    m->cje = kv.get("cje", m->cje);
+    m->cjc = kv.get("cjc", m->cjc);
+    m->vje = kv.get("vje", m->vje);
+    m->vjc = kv.get("vjc", m->vjc);
+    m->mje = kv.get("mje", m->mje);
+    m->mjc = kv.get("mjc", m->mjc);
+    m->fc = kv.get("fc", m->fc);
+    m->tf = kv.get("tf", m->tf);
+    m->rb = kv.get("rb", m->rb);
+    m->rc = kv.get("rc", m->rc);
+    m->re = kv.get("re", m->re);
+    m->ais = kv.get("ais", m->ais);
+    m->abf = kv.get("abf", m->abf);
+    models.bjt[name] = std::move(m);
   } else {
     fail(line, "unknown model type '" + type + "'");
   }
@@ -177,7 +229,7 @@ ParsedCircuit parseNetlist(std::istream& in) {
       first = false;
       const char c0 = static_cast<char>(
           std::tolower(static_cast<unsigned char>(line[firstNonWs])));
-      if (std::string("rclvieg dm.").find(c0) == std::string::npos) {
+      if (std::string("rclvieg dmq.").find(c0) == std::string::npos) {
         out.title = line.substr(firstNonWs);
         continue;
       }
@@ -219,21 +271,21 @@ ParsedCircuit parseNetlist(std::istream& in) {
     switch (kind) {
       case 'r': {
         if (toks.size() < 4) fail(ln, "R needs 2 nodes and a value");
-        const KeyValues kv = keyValues(toks, 4, ln);
+        const KeyValues kv = keyValues(toks, 4, ln, {"sigma"});
         nl.add<Resistor>(toks[0], node(1), node(2), number(toks[3], ln), nl,
                          kv.get("sigma", 0.0));
         break;
       }
       case 'c': {
         if (toks.size() < 4) fail(ln, "C needs 2 nodes and a value");
-        const KeyValues kv = keyValues(toks, 4, ln);
+        const KeyValues kv = keyValues(toks, 4, ln, {"sigma"});
         nl.add<Capacitor>(toks[0], node(1), node(2), number(toks[3], ln), nl,
                           kv.get("sigma", 0.0));
         break;
       }
       case 'l': {
         if (toks.size() < 4) fail(ln, "L needs 2 nodes and a value");
-        const KeyValues kv = keyValues(toks, 4, ln);
+        const KeyValues kv = keyValues(toks, 4, ln, {"sigma"});
         nl.add<Inductor>(toks[0], node(1), node(2), number(toks[3], ln), nl,
                          kv.get("sigma", 0.0));
         break;
@@ -271,10 +323,22 @@ ParsedCircuit parseNetlist(std::istream& in) {
         if (it == models.mos.end()) {
           fail(ln, "unknown MOS model '" + toks[5] + "'");
         }
-        const KeyValues kv = keyValues(toks, 6, ln);
+        const KeyValues kv = keyValues(toks, 6, ln, {"w", "l"});
         if (!kv.has("w") || !kv.has("l")) fail(ln, "M needs W= and L=");
         nl.add<Mosfet>(toks[0], node(1), node(2), node(3), node(4), it->second,
                        kv.get("w", 0.0), kv.get("l", 0.0), nl);
+        break;
+      }
+      case 'q': {
+        if (toks.size() < 5) fail(ln, "Q needs 3 nodes and a model");
+        const auto it = models.bjt.find(toLower(toks[4]));
+        if (it == models.bjt.end()) {
+          fail(ln, "unknown BJT model '" + toks[4] + "'");
+        }
+        const KeyValues kv = keyValues(toks, 5, ln, {"area"});
+        const Real area = kv.get("area", 1.0);
+        if (area <= 0.0) fail(ln, "Q area must be positive");
+        nl.add<Bjt>(toks[0], node(1), node(2), node(3), it->second, area, nl);
         break;
       }
       default:

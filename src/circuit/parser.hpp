@@ -11,9 +11,14 @@
 //   Gname out+ out- c+ c- gain          (VCCS)
 //   Dname a c <model>
 //   Mname d g s b <model> W=<m> L=<m>
-//   .model <name> nmos|pmos|d (param=value ...)
+//   Qname c b e <model> [area=<mult>]
+//   .model <name> nmos|pmos|d|npn|pnp (param=value ...)
 //        MOS params: kp vto lambda gamma phi cox cj cgso cgdo avt abeta
 //        Diode params: is n cj0
+//        BJT params: is bf br nf nr vaf cje cjc vje vjc mje mjc fc tf
+//                    rb rc re ais abf   (ais/abf: relative mismatch
+//                    sigmas of IS and BF; area scales IS and the
+//                    junction capacitances)
 //   .tran <tstep> <tstop> | .op | .ac dec <n> <fstart> <fstop>
 //   .pss <period> | .pnoise <offset-freq> | .end
 //

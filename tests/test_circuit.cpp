@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "circuit/bjt.hpp"
 #include "circuit/controlled.hpp"
 #include "circuit/diode.hpp"
 #include "circuit/mosfet.hpp"
@@ -481,7 +482,90 @@ TEST(Parser, ErrorsCarryLineNumbers) {
   EXPECT_THROW(parseNetlistString("M1 d g 0 0 nomodel W=1u L=1u\n"),
                NetlistError);
   // Unknown element letter (after the title line, which is skipped).
-  EXPECT_THROW(parseNetlistString("some title\nQ1 a b c\n"), NetlistError);
+  EXPECT_THROW(parseNetlistString("some title\nX1 a b c\n"), NetlistError);
+}
+
+TEST(Parser, ParsesBjtWithModel) {
+  const auto pc = parseNetlistString(R"(
+.model fastnpn npn (is=2f bf=180 br=3 vaf=90 cje=1p cjc=0.6p tf=0.35n
++ rb=120 rc=15 re=2)
+.model fastpnp pnp (is=1f bf=60)
+Q1 c b e fastnpn area=2
+Q2 c2 b2 e2 fastpnp
+V1 c 0 3.0
+.op
+)");
+  const auto* q1 = dynamic_cast<const Bjt*>(pc.netlist->find("Q1"));
+  ASSERT_NE(q1, nullptr);
+  EXPECT_DOUBLE_EQ(q1->model().is, 2e-15);
+  EXPECT_DOUBLE_EQ(q1->model().bf, 180.0);
+  EXPECT_DOUBLE_EQ(q1->model().vaf, 90.0);
+  EXPECT_DOUBLE_EQ(q1->model().rb, 120.0);
+  EXPECT_DOUBLE_EQ(q1->area(), 2.0);
+  EXPECT_FALSE(q1->model().pnp);
+  const auto* q2 = dynamic_cast<const Bjt*>(pc.netlist->find("Q2"));
+  ASSERT_NE(q2, nullptr);
+  EXPECT_TRUE(q2->model().pnp);
+  EXPECT_DOUBLE_EQ(q2->area(), 1.0);
+  // Two mismatch parameters (dIS/IS, dBF/BF) per BJT.
+  EXPECT_EQ(pc.netlist->mismatchParams().size(), 4u);
+  // RB/RC/RE > 0 on Q1 adds three internal nodes.
+  EXPECT_NE(pc.netlist->findNode("Q1:b"), std::nullopt);
+  EXPECT_NE(pc.netlist->findNode("Q1:c"), std::nullopt);
+  EXPECT_NE(pc.netlist->findNode("Q1:e"), std::nullopt);
+  EXPECT_EQ(pc.netlist->findNode("Q2:b"), std::nullopt);
+}
+
+// Malformed .model cards must fail loudly with the offending line number —
+// never fall back to silent defaults.
+TEST(Parser, RejectsUnknownModelParameter) {
+  try {
+    parseNetlistString(".model m1 npn (is=1f bff=100)\n");
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown parameter 'bff'"), std::string::npos) << what;
+  }
+  // Same strictness for the other model types and element cards.
+  EXPECT_THROW(parseNetlistString(".model m1 nmos (kpp=1)\n"), NetlistError);
+  EXPECT_THROW(parseNetlistString(".model m1 d (isx=1f)\n"), NetlistError);
+  EXPECT_THROW(parseNetlistString("R1 a 0 1k sgma=10\n"), NetlistError);
+  EXPECT_THROW(parseNetlistString(
+                   ".model m1 npn (is=1f)\nQ1 c b e m1 aerea=2\n"),
+               NetlistError);
+}
+
+TEST(Parser, RejectsDuplicateModelNames) {
+  try {
+    parseNetlistString(
+        ".model m1 npn (is=1f)\n"
+        ".model m1 d (is=2f)\n");
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate model name 'm1'"), std::string::npos)
+        << what;
+  }
+  // Duplicate parameters within one card are rejected too.
+  EXPECT_THROW(parseNetlistString(".model m1 npn (is=1f is=2f)\n"),
+               NetlistError);
+}
+
+TEST(Parser, RejectsMalformedBjtCards) {
+  // Too few nodes.
+  EXPECT_THROW(parseNetlistString("Q1 c b\n"), NetlistError);
+  // Unknown model.
+  EXPECT_THROW(parseNetlistString("Q1 c b e nomodel\n"), NetlistError);
+  // Non-positive area.
+  EXPECT_THROW(parseNetlistString(
+                   ".model m1 npn (is=1f)\nQ1 c b e m1 area=0\n"),
+               NetlistError);
+  // Unknown model type.
+  EXPECT_THROW(parseNetlistString(".model m1 bjt (is=1f)\n"), NetlistError);
+  // Dangling key without value.
+  EXPECT_THROW(parseNetlistString(".model m1 npn (is)\n"), NetlistError);
 }
 
 // --------------------------------------------------------------- stdcell

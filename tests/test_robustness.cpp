@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "circuit/bjt.hpp"
 #include "circuit/controlled.hpp"
 #include "circuit/diode.hpp"
 #include "circuit/passives.hpp"
@@ -306,6 +307,56 @@ TEST(SweepRetry, RecoversInjectedFaultsBitIdenticallyAcrossJobs) {
       }
     }
   }
+}
+
+std::unique_ptr<Netlist> makeBjtCeAmp() {
+  auto nl = std::make_unique<Netlist>();
+  auto model = std::make_shared<BjtModel>();
+  const NodeId vcc = nl->node("vcc");
+  const NodeId b = nl->node("b");
+  const NodeId out = nl->node("out");
+  nl->add<VSource>("VCC", vcc, kGround, SourceWave::dc(5.0), *nl);
+  nl->add<VSource>("VB", b, kGround,
+                   SourceWave::pulse(0.65, 0.7, 100e-9, 10e-9, 10e-9, 1.0,
+                                     2.0),
+                   *nl);
+  nl->add<Resistor>("RC", vcc, out, 1e3, *nl);
+  nl->add<Bjt>("Q1", out, b, kGround, std::move(model), 1.0, *nl);
+  nl->add<Capacitor>("CL", out, kGround, 1e-12, *nl);
+  return nl;
+}
+
+TEST(SweepRetry, BjtDeckRecoversInjectedNewtonStall) {
+  // Exponential-device flavour of the retry escalation: a pulsed
+  // common-emitter BJT stage whose first attempt has every transient
+  // Newton acceptance suppressed. The attempt exhausts its budget and
+  // throws; the sweep retry (tightened dt, doubled budget) outlives the
+  // armed window and recovers, keeping the failed attempt's post-mortem.
+  SweepScenario sc;
+  sc.name = "bjt-ce";
+  sc.make = makeBjtCeAmp;
+  sc.analysis = SweepAnalysis::kTransient;
+  sc.outNode = "out";
+  sc.t1 = 300e-9;
+  sc.dt = 1e-9;
+  sc.retry.maxRetries = 2;
+  sc.faults.arm("tran.newton.converge", 0, sc.tran.maxNewton);
+
+  ThreadPool pool(2);
+  const std::vector<SweepScenario> scenarios{sc};
+  const auto results = runScenarioSweep(scenarios, pool);
+  ASSERT_EQ(results.size(), 1u);
+  const SweepResult& r = results[0];
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_TRUE(r.recovered);
+  ASSERT_TRUE(r.hasDiagnostics);
+  EXPECT_EQ(r.diagnostics.injectedFault, "tran.newton.converge");
+  // The recovered waveform is the real amplifier response: the output
+  // starts at the RC-loaded bias point and drops when the input steps.
+  ASSERT_FALSE(r.waveform.empty());
+  EXPECT_GT(r.waveform.front(), 4.0);
+  EXPECT_LT(r.waveform.back(), r.waveform.front() - 0.2);
 }
 
 // -------------------------------------------- ring fundamental-mode anchor
