@@ -47,10 +47,13 @@ void BM_BjtOpAmpDc(benchmark::State& state) {
   Netlist nl;
   buildBjtFollower(nl, BjtKit::bipolar5());
   MnaSystem sys(nl);
+  SolveStats stats;
   for (auto _ : state) {
     const DcResult dc = solveDc(sys);
+    stats = dc.stats;
     benchmark::DoNotOptimize(dc.x.data());
   }
+  state.counters["newton_iters"] = static_cast<double>(stats.newtonIterations);
 }
 BENCHMARK(BM_BjtOpAmpDc);
 
@@ -58,10 +61,16 @@ void BM_BjtOpAmpTransient(benchmark::State& state) {
   Netlist nl;
   buildBjtFollower(nl, BjtKit::bipolar5());
   MnaSystem sys(nl);
+  SolveStats stats;
   for (auto _ : state) {
     const TransientResult tr = runTransient(sys, 0.0, 600e-9, 2e-9);
+    stats = tr.stats;
     benchmark::DoNotOptimize(tr.finalState.data());
   }
+  // Deterministic per-run cost counters, gated by check_bench_trend.py.
+  state.counters["newton_iters"] = static_cast<double>(stats.newtonIterations);
+  state.counters["lu_factors"] = static_cast<double>(stats.factorizations);
+  state.counters["lu_refactors"] = static_cast<double>(stats.refactorizations);
 }
 BENCHMARK(BM_BjtOpAmpTransient);
 
@@ -72,12 +81,17 @@ void BM_BjtOpAmpSensitivity(benchmark::State& state) {
   const auto sources = sys.collectSources(true, false);
   TranOptions topt;
   topt.method = IntegrationMethod::kBackwardEuler;
+  SolveStats stats;
   for (auto _ : state) {
     const TransientSensitivityResult sens =
         runTransientSensitivity(sys, 0.0, 600e-9, 2e-9, sources, topt);
+    stats = sens.stats;
     benchmark::DoNotOptimize(sens.sens.data());
   }
   state.counters["sources"] = static_cast<double>(sources.size());
+  state.counters["newton_iters"] = static_cast<double>(stats.newtonIterations);
+  state.counters["lu_factors"] = static_cast<double>(stats.factorizations);
+  state.counters["lu_refactors"] = static_cast<double>(stats.refactorizations);
 }
 BENCHMARK(BM_BjtOpAmpSensitivity);
 

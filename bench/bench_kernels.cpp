@@ -13,6 +13,7 @@
 #include "numeric/rng.hpp"
 #include "numeric/sparse_lu.hpp"
 #include "rf/pss.hpp"
+#include "util/telemetry.hpp"
 
 namespace psmn {
 namespace {
@@ -255,8 +256,18 @@ void BM_TransientStepDense(benchmark::State& state) {
 void BM_TransientStepSparse(benchmark::State& state) {
   transientStepBench(state, LinearSolverKind::kSparse);
 }
+/// The stepping loop with a metrics registry bound (counters + phase
+/// timers, no event collection): the acceptance bar is <2% over the
+/// unbound BM_TransientStepSparse at the same stage count — every probe
+/// on this path is an inline thread-local test plus a slot-local add.
+void BM_TransientStepSparseTelemetry(benchmark::State& state) {
+  TelemetryRegistry reg(1);
+  TelemetryScope scope(reg, 0);
+  transientStepBench(state, LinearSolverKind::kSparse);
+}
 BENCHMARK(BM_TransientStepDense)->Arg(15)->Arg(31)->Arg(63)->Arg(127);
 BENCHMARK(BM_TransientStepSparse)->Arg(15)->Arg(31)->Arg(63)->Arg(127);
+BENCHMARK(BM_TransientStepSparseTelemetry)->Arg(63)->Arg(127);
 
 /// Full transient-sensitivity run on `rows` parallel 8-stage inverter
 /// chains (2 mismatch sources per MOSFET, so ns = 32*rows columns):
@@ -276,13 +287,20 @@ void tranSensBench(benchmark::State& state, LinearSolverKind solver) {
   TranOptions opt;
   opt.method = IntegrationMethod::kBackwardEuler;
   opt.solver = solver;
+  SolveStats stats;
   for (auto _ : state) {
     const auto res =
         runTransientSensitivity(sys, 0.0, 1e-9, 10e-12, sources, opt);
+    stats = res.stats;
     benchmark::DoNotOptimize(res);
   }
   state.counters["unknowns"] = static_cast<double>(sys.size());
   state.counters["sources"] = static_cast<double>(sources.size());
+  // Per-run cost counters: deterministic (machine-independent), gated by
+  // scripts/check_bench_trend.py alongside factor_nnz.
+  state.counters["newton_iters"] = static_cast<double>(stats.newtonIterations);
+  state.counters["lu_factors"] = static_cast<double>(stats.factorizations);
+  state.counters["lu_refactors"] = static_cast<double>(stats.refactorizations);
 }
 
 void BM_TranSensDense(benchmark::State& state) {
@@ -347,14 +365,20 @@ void pssShootingBench(benchmark::State& state, LinearSolverKind solver) {
   opt.stepsPerPeriod = 180;
   opt.solver = solver;
   size_t iters = 0;
+  SolveStats stats;
   for (auto _ : state) {
     const PssResult pss = solvePssAutonomous(*fx.sys, fx.period,
                                              fx.phaseIndex, fx.x0, opt);
     iters += pss.shootingIterations;
+    stats = pss.stats;
     benchmark::DoNotOptimize(pss);
   }
   state.counters["unknowns"] = static_cast<double>(fx.sys->size());
   state.counters["shooting_iters"] = static_cast<double>(iters);
+  // Per-run cost counters, gated by scripts/check_bench_trend.py.
+  state.counters["newton_iters"] = static_cast<double>(stats.newtonIterations);
+  state.counters["lu_factors"] = static_cast<double>(stats.factorizations);
+  state.counters["lu_refactors"] = static_cast<double>(stats.refactorizations);
 }
 
 void BM_PssShootingDense(benchmark::State& state) {

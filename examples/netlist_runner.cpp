@@ -14,6 +14,14 @@
 // Results are reported in scenario order and are bit-identical for every
 // --jobs value (per-scenario RNG streams are derived from the scenario
 // index, never from thread timing).
+//
+// Observability flags (docs/user_guide.md "Run reports"):
+//   --metrics out.json          machine-readable run report (counters,
+//                               phase timers, per-card/per-scenario stats)
+//   --trace out.json            Chrome trace-event file (chrome://tracing
+//                               or Perfetto)
+//   --trace-detail phase|step|kernel   span granularity (default phase)
+//   --progress                  one line per scenario as it completes
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +37,7 @@
 #include "meas/measure.hpp"
 #include "numeric/statistics.hpp"
 #include "runtime/scenario_sweep.hpp"
+#include "util/trace_export.hpp"
 #include "util/units.hpp"
 
 using namespace psmn;
@@ -54,6 +63,18 @@ struct RunnerArgs {
   size_t sweepSamples = 0;  // --sweep mc:N (0 = no sweep)
   uint64_t seed = 1;      // --seed S
   std::string probe;      // --probe <node>; default from the .pnoise card
+  std::string metricsPath;  // --metrics <file>
+  std::string tracePath;    // --trace <file>
+  TraceDetail traceDetail = TraceDetail::kPhase;  // --trace-detail
+  bool progress = false;    // --progress
+};
+
+/// What the metrics report aggregates beyond the registry totals: one
+/// SolveStats per analysis card, and the sweep's per-scenario outcomes.
+struct RunReport {
+  std::vector<std::pair<std::string, SolveStats>> analyses;
+  bool haveSweep = false;
+  std::vector<SweepResult> sweep;
 };
 
 bool parseArgs(int argc, char** argv, RunnerArgs& args) {
@@ -72,6 +93,26 @@ bool parseArgs(int argc, char** argv, RunnerArgs& args) {
       args.seed = std::strtoull(value("--seed"), nullptr, 10);
     } else if (a == "--probe") {
       args.probe = value("--probe");
+    } else if (a == "--metrics") {
+      args.metricsPath = value("--metrics");
+    } else if (a == "--trace") {
+      args.tracePath = value("--trace");
+    } else if (a == "--trace-detail") {
+      const std::string d = value("--trace-detail");
+      if (d == "phase") {
+        args.traceDetail = TraceDetail::kPhase;
+      } else if (d == "step") {
+        args.traceDetail = TraceDetail::kStep;
+      } else if (d == "kernel") {
+        args.traceDetail = TraceDetail::kKernel;
+      } else {
+        std::fprintf(stderr,
+                     "--trace-detail expects phase|step|kernel, got '%s'\n",
+                     d.c_str());
+        return false;
+      }
+    } else if (a == "--progress") {
+      args.progress = true;
     } else if (a == "--sweep") {
       const std::string spec = value("--sweep");
       if (spec.rfind("mc:", 0) != 0) {
@@ -95,7 +136,8 @@ bool parseArgs(int argc, char** argv, RunnerArgs& args) {
 }
 
 int runSweep(const std::string& deckText, const ParsedCircuit& pc,
-             const RunnerArgs& args) {
+             const RunnerArgs& args, TelemetryRegistry& reg,
+             RunReport& report) {
   // The main-thread parse (`pc`) supplies the analysis cards and defaults;
   // the scenarios re-parse the text into private netlists on their slots.
   Real dt = 0.0, tstop = 0.0;
@@ -149,16 +191,33 @@ int runSweep(const std::string& deckText, const ParsedCircuit& pc,
     sc.t1 = tstop;
     sc.dt = dt;
     sc.tran.storeStates = false;
+    sc.retry.maxRetries = 2;
     scenarios.push_back(std::move(sc));
   }
 
   ThreadPool pool(args.jobs);
+  pool.attachTelemetry(&reg);
   std::printf("sweep: %zu mismatch scenarios of .tran %s %s on %zu job(s), "
               "probe v(%s), seed %llu\n",
               scenarios.size(), formatEng(dt).c_str(),
               formatEng(tstop).c_str(), pool.jobCount(), probe.c_str(),
               static_cast<unsigned long long>(args.seed));
-  const auto results = runScenarioSweep(scenarios, pool);
+
+  SweepProgressFn onProgress;
+  size_t done = 0;
+  if (args.progress) {
+    // Completion order, serialized by the sweep; the per-scenario lines
+    // below stay in input order.
+    onProgress = [&](const SweepResult& r) {
+      ++done;
+      std::printf("progress: [%zu/%zu] %-8s %s (attempts=%d)\n", done,
+                  scenarios.size(), r.name.c_str(),
+                  r.ok ? (r.recovered ? "recovered" : "ok") : "FAILED",
+                  r.attempts);
+      std::fflush(stdout);
+    };
+  }
+  const auto results = runScenarioSweep(scenarios, pool, onProgress);
 
   MomentAccumulator acc;
   size_t failures = 0;
@@ -180,10 +239,32 @@ int runSweep(const std::string& deckText, const ParsedCircuit& pc,
                 formatEng(acc.mean()).c_str(), formatEng(acc.stddev()).c_str(),
                 static_cast<size_t>(acc.count()), failures);
   }
+  // Recovery report: which scenarios needed the bounded-escalation retries,
+  // and the structured post-mortem of each scenario's last failed attempt.
+  size_t retried = 0, recovered = 0, totalAttempts = 0;
+  for (const auto& r : results) {
+    totalAttempts += static_cast<size_t>(r.attempts);
+    if (r.attempts > 1) ++retried;
+    if (r.recovered) ++recovered;
+  }
+  if (retried > 0 || failures > 0) {
+    std::printf("recovery: %zu scenario(s) retried, %zu recovered, "
+                "%zu attempts total\n",
+                retried, recovered, totalAttempts);
+    for (const auto& r : results) {
+      if (!r.hasDiagnostics) continue;
+      std::printf("  %-8s %s after %d attempt(s): %s\n", r.name.c_str(),
+                  r.ok ? "recovered" : "failed", r.attempts,
+                  r.diagnostics.describe().c_str());
+    }
+  }
+  report.haveSweep = true;
+  report.sweep = results;
   return failures == results.size() ? 1 : 0;
 }
 
-int runCards(const ParsedCircuit& pc, const RunnerArgs& args) {
+int runCards(const ParsedCircuit& pc, const RunnerArgs& args,
+             TelemetryRegistry& reg, RunReport& report) {
   Netlist& nl = *pc.netlist;
   MnaSystem sys(nl);
   std::printf("%zu devices, %zu unknowns, %zu mismatch parameters\n\n",
@@ -193,27 +274,34 @@ int runCards(const ParsedCircuit& pc, const RunnerArgs& args) {
   // monodromy columns and the LPTV B_k/V_k recursions across this pool
   // (results are bit-identical for every jobs count).
   std::unique_ptr<ThreadPool> pool;
-  if (args.jobs != 1) pool = std::make_unique<ThreadPool>(args.jobs);
+  if (args.jobs != 1) {
+    pool = std::make_unique<ThreadPool>(args.jobs);
+    pool->attachTelemetry(&reg);
+  }
 
   Real pssPeriod = 0.0;
   for (const auto& card : pc.analyses) {
     if (card.kind == "op") {
       const DcResult dc = solveDc(sys);
-      std::printf(".op (%d Newton iterations):\n", dc.iterations);
+      std::printf(".op (%llu Newton iterations):\n",
+                  static_cast<unsigned long long>(dc.stats.newtonIterations));
       for (size_t i = 0; i < sys.size(); ++i) {
         std::printf("  %-12s = %s\n", nl.unknownName(i).c_str(),
                     formatEng(dc.x[i]).c_str());
       }
+      report.analyses.emplace_back(".op", dc.stats);
     } else if (card.kind == "tran" && card.args.size() >= 2) {
       const Real dt = *parseSpiceNumber(card.args[0]);
       const Real tstop = *parseSpiceNumber(card.args[1]);
       const TransientResult tr = runTransient(sys, 0.0, tstop, dt, {});
-      std::printf(".tran %s %s: %zu steps, final state:\n",
-                  card.args[0].c_str(), card.args[1].c_str(), tr.steps);
+      std::printf(".tran %s %s: %llu steps, final state:\n",
+                  card.args[0].c_str(), card.args[1].c_str(),
+                  static_cast<unsigned long long>(tr.stats.steps));
       for (size_t i = 0; i < sys.size(); ++i) {
         std::printf("  %-12s = %s\n", nl.unknownName(i).c_str(),
                     formatEng(tr.finalState[i]).c_str());
       }
+      report.analyses.emplace_back(".tran", tr.stats);
     } else if (card.kind == "pss" && !card.args.empty()) {
       pssPeriod = *parseSpiceNumber(card.args[0]);
       std::printf(".pss period=%ss (deferred until .pnoise)\n",
@@ -244,6 +332,100 @@ int runCards(const ParsedCircuit& pc, const RunnerArgs& args) {
   return 0;
 }
 
+/// The --metrics report. Schema (validated by scripts/check_run_report.py):
+/// top-level object with schema_version, deck, jobs, counters{},
+/// phase_ns{}, analyses[{name, stats{}}], and — in sweep mode —
+/// sweep{scenarios, failed, recovered, total_attempts, stats{},
+/// per_scenario[{name, ok, attempts, recovered, stats{}, error?}]}.
+void writeMetricsReport(std::ostream& os, const RunnerArgs& args, size_t jobs,
+                        const TelemetryRegistry& reg,
+                        const RunReport& report) {
+  JsonWriter w(os);
+  w.beginObject();
+  w.field("schema_version", uint64_t{1});
+  w.field("deck", std::string_view(args.deckPath.empty() ? "(demo)"
+                                                         : args.deckPath));
+  w.field("jobs", static_cast<uint64_t>(jobs));
+  writeRegistrySections(w, reg);
+  w.key("analyses");
+  w.beginArray();
+  for (const auto& [name, stats] : report.analyses) {
+    w.beginObject();
+    w.field("name", std::string_view(name));
+    w.key("stats");
+    writeSolveStats(w, stats);
+    w.endObject();
+  }
+  w.endArray();
+  if (report.haveSweep) {
+    SolveStats agg;
+    uint64_t failed = 0, recovered = 0, attempts = 0;
+    for (const auto& r : report.sweep) {
+      agg.add(r.stats);
+      if (!r.ok) ++failed;
+      if (r.recovered) ++recovered;
+      attempts += static_cast<uint64_t>(r.attempts);
+    }
+    w.key("sweep");
+    w.beginObject();
+    w.field("scenarios", static_cast<uint64_t>(report.sweep.size()));
+    w.field("failed", failed);
+    w.field("recovered", recovered);
+    w.field("total_attempts", attempts);
+    w.key("stats");
+    writeSolveStats(w, agg);
+    w.key("per_scenario");
+    w.beginArray();
+    for (const auto& r : report.sweep) {
+      w.beginObject();
+      w.field("name", std::string_view(r.name));
+      w.field("ok", r.ok);
+      w.field("attempts", static_cast<uint64_t>(r.attempts));
+      w.field("recovered", r.recovered);
+      if (!r.error.empty()) w.field("error", std::string_view(r.error));
+      if (r.hasDiagnostics) {
+        w.field("diagnostics", std::string_view(r.diagnostics.describe()));
+      }
+      w.key("stats");
+      writeSolveStats(w, r.stats);
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+  }
+  w.endObject();
+  os << '\n';
+}
+
+bool writeReports(const RunnerArgs& args, size_t jobs,
+                  const TelemetryRegistry& reg, const RunReport& report) {
+  bool ok = true;
+  if (!args.metricsPath.empty()) {
+    std::ofstream out(args.metricsPath);
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                   args.metricsPath.c_str());
+      ok = false;
+    } else {
+      writeMetricsReport(out, args, jobs, reg, report);
+      std::printf("metrics written to %s\n", args.metricsPath.c_str());
+    }
+  }
+  if (!args.tracePath.empty()) {
+    std::ofstream out(args.tracePath);
+    if (!out) {
+      std::fprintf(stderr, "cannot write trace to '%s'\n",
+                   args.tracePath.c_str());
+      ok = false;
+    } else {
+      writeChromeTrace(out, reg);
+      std::printf("trace written to %s (%zu events)\n",
+                  args.tracePath.c_str(), reg.events().size());
+    }
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -265,14 +447,31 @@ int main(int argc, char** argv) {
     std::printf("(no deck given; running the built-in demo)\n");
   }
 
+  // One registry slot per execution slot; the main thread binds slot 0 and
+  // the pools bind their drivers (attachTelemetry). Events are only
+  // collected when a --trace file was requested.
+  const size_t jobs = args.jobs == 0 ? ThreadPool::hardwareJobs() : args.jobs;
+  TelemetryRegistry::Options topt;
+  topt.collectEvents = !args.tracePath.empty();
+  topt.detail = args.traceDetail;
+  TelemetryRegistry reg(jobs, topt);
+  TelemetryScope mainScope(reg, 0);
+  RunReport report;
+
   // Solver failures carry a structured post-mortem (FailureDiagnostics):
   // print it and exit nonzero instead of dying on an unhandled exception,
   // so scripted flows get a parseable one-line cause.
   try {
-    ParsedCircuit pc = parseNetlistString(deckText);
+    ParsedCircuit pc = [&] {
+      TraceSpan span(Phase::kParse, "parse");
+      return parseNetlistString(deckText);
+    }();
     std::printf("title: %s\n", pc.title.c_str());
-    if (args.sweepSamples > 0) return runSweep(deckText, pc, args);
-    return runCards(pc, args);
+    const int rc = args.sweepSamples > 0
+                       ? runSweep(deckText, pc, args, reg, report)
+                       : runCards(pc, args, reg, report);
+    if (!writeReports(args, jobs, reg, report) && rc == 0) return 1;
+    return rc;
   } catch (const Error& err) {
     std::fprintf(stderr, "error: %s\n", err.what());
     if (const FailureDiagnostics* d = err.diagnostics()) {

@@ -13,13 +13,21 @@ The check fails when
 exceeds ``--threshold`` (default 1.25, the ROADMAP "perf trajectory" bar)
 for any hot-path benchmark present in both files.
 
-Factor fill: benchmarks that emit a ``factor_nnz`` counter (sparse
-factor/refactor kernels, the sparse transient steps, the ordering
-fixtures) are additionally checked on nnz(L+U). Fill is a pure function
-of the matrix pattern and the column ordering — machine-independent — so
-it is compared *un-normalized* against the baseline and fails past
-``--fill-threshold`` (default 1.05): a fill regression means the ordering
-got worse, not that the runner was slow.
+Deterministic counters: benchmarks that emit machine-independent cost
+counters are additionally gated on them, compared *un-normalized* against
+the baseline (they are pure functions of the algorithm, not the runner):
+
+* ``factor_nnz`` — nnz(L+U) of the sparse factor/refactor kernels and the
+  sparse transient steps. A regression means the column ordering got
+  worse, not that the runner was slow.
+* ``newton_iters`` / ``lu_factors`` / ``lu_refactors`` — per-run Newton
+  iteration and LU (re)factorization counts of the full-run benches
+  (``BM_TranSens*``, ``BM_PssShooting*``, the op-amp deck), from the
+  engines' SolveStats. A regression means convergence got worse or a
+  pattern-reuse path stopped being taken.
+
+All counter gates share ``--counter-threshold`` (default 1.05, the
+``factor_nnz`` precedent — deterministic, so the bar is tight).
 
 Trend history: ``--prev PATH`` additionally diffs the current run against
 the previous CI run's artifact (downloaded by the workflow) across *all*
@@ -53,6 +61,9 @@ HOT_PREFIXES = (
 )
 ANCHOR = "BM_DenseLuFactor/64"
 
+# Machine-independent counters gated un-normalized against the baseline.
+GATED_COUNTERS = ("factor_nnz", "newton_iters", "lu_factors", "lu_refactors")
+
 
 def load(path):
     with open(path) as f:
@@ -65,38 +76,41 @@ def load(path):
     return out
 
 
-def load_fill(path):
-    """name -> factor_nnz for benchmarks that emit the fill counter."""
+def load_counter(path, counter):
+    """name -> value for benchmarks that emit the given counter."""
     with open(path) as f:
         data = json.load(f)
     out = {}
     for b in data.get("benchmarks", []):
         if b.get("run_type", "iteration") != "iteration":
             continue
-        if "factor_nnz" in b:
-            out[b["name"]] = float(b["factor_nnz"])
+        if counter in b:
+            out[b["name"]] = float(b[counter])
     return out
 
 
-def check_fill(cur_path, base_path, threshold):
-    """Un-normalized nnz(L+U) comparison; returns failing benchmark names."""
-    current = load_fill(cur_path)
-    baseline = load_fill(base_path)
+def check_counter(cur_path, base_path, counter, threshold):
+    """Un-normalized counter comparison; returns failing benchmark names."""
+    current = load_counter(cur_path, counter)
+    baseline = load_counter(base_path, counter)
     common = sorted(set(current) & set(baseline))
     if not common:
-        print("\nfill trend: no factor_nnz counters in common; skipping")
+        print(f"\ncounter trend: no {counter} counters in common; skipping")
         return []
     failures = []
-    print(f"\nfactor fill vs baseline ({len(common)} benchmarks, "
+    print(f"\n{counter} vs baseline ({len(common)} benchmarks, "
           f"un-normalized, fail past {threshold:.2f}x):")
     for name in common:
         base = baseline[name]
-        ratio = current[name] / base if base > 0 else float("inf")
+        if base > 0:
+            ratio = current[name] / base
+        else:  # 0 -> 0 is clean (dense benches emit zero refactors)
+            ratio = 1.0 if current[name] == 0 else float("inf")
         verdict = "FAIL" if ratio > threshold else "  ok"
-        print(f"{verdict}  {name:<40} nnz {current[name]:8.0f} "
+        print(f"{verdict}  {name:<40} {counter} {current[name]:8.0f} "
               f"(baseline {base:8.0f}, {ratio:5.2f}x)")
         if ratio > threshold:
-            failures.append(name)
+            failures.append(f"{name}:{counter}")
     return failures
 
 
@@ -128,9 +142,11 @@ def main():
     ap.add_argument("baseline", help="committed baseline JSON")
     ap.add_argument("--threshold", type=float, default=1.25,
                     help="fail when normalized ratio exceeds this (1.25 = +25%%)")
-    ap.add_argument("--fill-threshold", type=float, default=1.05,
-                    help="fail when factor_nnz exceeds baseline by this "
-                         "ratio (deterministic, so the bar is tight)")
+    ap.add_argument("--counter-threshold", "--fill-threshold",
+                    dest="counter_threshold", type=float, default=1.05,
+                    help="fail when a gated deterministic counter "
+                         "(factor_nnz, newton_iters, lu_factors, "
+                         "lu_refactors) exceeds baseline by this ratio")
     ap.add_argument("--prev", default=None,
                     help="previous CI run's bench JSON (informational "
                          "per-PR trend history; missing file is skipped)")
@@ -165,25 +181,28 @@ def main():
         print("error: no hot-path benchmarks in common", file=sys.stderr)
         return 2
 
-    fill_failures = check_fill(args.current, args.baseline,
-                               args.fill_threshold)
+    counter_failures = []
+    for counter in GATED_COUNTERS:
+        counter_failures += check_counter(args.current, args.baseline,
+                                          counter, args.counter_threshold)
 
     if args.prev:
         diff_against_previous(current, args.prev)
 
-    if failures or fill_failures:
+    if failures or counter_failures:
         if failures:
             print(f"\n{len(failures)} hot-path regression(s) past "
                   f"{args.threshold:.2f}x: {', '.join(failures)}",
                   file=sys.stderr)
-        if fill_failures:
-            print(f"\n{len(fill_failures)} factor-fill regression(s) past "
-                  f"{args.fill_threshold:.2f}x: {', '.join(fill_failures)}",
+        if counter_failures:
+            print(f"\n{len(counter_failures)} counter regression(s) past "
+                  f"{args.counter_threshold:.2f}x: "
+                  f"{', '.join(counter_failures)}",
                   file=sys.stderr)
         return 1
     print(f"\nall {checked} hot-path benchmarks within "
-          f"{args.threshold:.2f}x of baseline; fill within "
-          f"{args.fill_threshold:.2f}x")
+          f"{args.threshold:.2f}x of baseline; deterministic counters "
+          f"within {args.counter_threshold:.2f}x")
     return 0
 
 

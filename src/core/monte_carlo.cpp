@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "runtime/thread_pool.hpp"
+#include "util/telemetry.hpp"
 
 namespace psmn {
 
@@ -68,6 +69,7 @@ MonteCarloEngine::MonteCarloEngine(const MnaSystem& sys, McOptions opt)
 
 McResult MonteCarloEngine::run(std::vector<std::string> names,
                                const McMeasure& measure) {
+  TraceSpan span(Phase::kMc, "monte_carlo");
   McResult result;
   result.names = std::move(names);
   result.moments.assign(result.names.size(), MomentAccumulator{});

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/fault_injection.hpp"
+#include "util/telemetry.hpp"
 
 namespace psmn {
 namespace {
@@ -53,13 +54,16 @@ bool newtonSolve(const MnaSystem& sys, RealVector& x, const DcOptions& opt,
   eopt.sourceScale = sourceScale;
   eopt.gshunt = gshunt;
 
+  TraceSpan rungSpan(Phase::kStep, "newton_solve", TraceDetail::kStep);
   Real lastRes = -1.0;
   for (int iter = 0; iter < opt.maxIterations; ++iter) {
+    TraceSpan iterSpan(Phase::kNewton, "newton_iter", TraceDetail::kKernel);
     if (sparse) {
       sys.evalSparse(x, opt.time, &f, nullptr, &ws->gsp, nullptr, eopt);
     } else {
       sys.evalDense(x, opt.time, &f, nullptr, &ws->g, nullptr, eopt);
     }
+    ++ws->stats.evals;
     const Real resNorm = maxAbsVec(f);
     // A non-finite residual means the iterate escaped the devices' range
     // (exp overflow on a deep logic chain rung): no amount of further
@@ -84,12 +88,18 @@ bool newtonSolve(const MnaSystem& sys, RealVector& x, const DcOptions& opt,
         if (!ws->sluSymbolic || !ws->slu.refactor(ws->gsp)) {
           ws->slu.factor(ws->gsp, 0.1, opt.ordering);
           ws->sluSymbolic = true;
+          ++ws->stats.factorizations;
+        } else {
+          ++ws->stats.refactorizations;
         }
+        ws->stats.factorNnz = ws->slu.factorNonZeros();
         ws->slu.solveInPlace(f);
       } else {
         ws->dlu.factor(ws->g);
+        ++ws->stats.factorizations;
         ws->dlu.solveInPlace(f);
       }
+      ++ws->stats.solves;
     } catch (const NumericalError&) {
       for (Real& v : f) v = -v;  // restore f for the suspect report
       recordFailure(*ws, sys, "newton/factorization", iter, resNorm, f);
@@ -108,6 +118,8 @@ bool newtonSolve(const MnaSystem& sys, RealVector& x, const DcOptions& opt,
     for (size_t i = 0; i < n; ++i) x[i] += scale * dx[i];
 
     if (iterationsOut) *iterationsOut = iter + 1;
+    ++ws->stats.newtonIterations;
+    telemetryCount(Counter::kNewtonIterations);
     if (resNorm < opt.residualTol && stepNorm * scale < opt.updateTol) {
       // Injected stagnation: refuse this acceptance and keep iterating, so
       // the kernel exhausts maxIterations exactly like a genuinely stuck
@@ -125,6 +137,7 @@ bool solveDcArclength(const MnaSystem& sys, RealVector& x,
                       const DcOptions& opt, DcWorkspace& ws,
                       int* iterationsOut, int* stepsOut) {
   if (opt.arclengthSteps <= 0) return false;
+  TraceSpan span(Phase::kDc, "dc_arclength");
   const size_t n = sys.size();
   const bool sparse = useSparseSolver(opt.solver, n, opt.sparseThreshold);
   MnaSystem::EvalOptions eopt;
@@ -142,13 +155,20 @@ bool solveDcArclength(const MnaSystem& sys, RealVector& x,
           ws.sluSymbolic = false;
           ws.patternNnz = ws.gsp.nonZeros();
         }
+        ++ws.stats.evals;
         if (!ws.sluSymbolic || !ws.slu.refactor(ws.gsp)) {
           ws.slu.factor(ws.gsp, 0.1, opt.ordering);
           ws.sluSymbolic = true;
+          ++ws.stats.factorizations;
+        } else {
+          ++ws.stats.refactorizations;
         }
+        ws.stats.factorNnz = ws.slu.factorNonZeros();
       } else {
         sys.evalDense(xe, opt.time, &ws.f, nullptr, &ws.g, nullptr, eopt);
+        ++ws.stats.evals;
         ws.dlu.factor(ws.g);
+        ++ws.stats.factorizations;
       }
     } catch (const NumericalError&) {
       return false;
@@ -158,6 +178,7 @@ bool solveDcArclength(const MnaSystem& sys, RealVector& x,
   auto solveJ = [&](RealVector& rhs) {
     if (sparse) ws.slu.solveInPlace(rhs);
     else ws.dlu.solveInPlace(rhs);
+    ++ws.stats.solves;
   };
   // f_lambda at (xe, lambda) by forward difference against fAt (= f there).
   RealVector fPert;
@@ -166,6 +187,7 @@ bool solveDcArclength(const MnaSystem& sys, RealVector& x,
     MnaSystem::EvalOptions pe = eopt;
     pe.sourceScale = lambda + dLamFd;
     sys.evalDense(xe, opt.time, &fPert, nullptr, nullptr, nullptr, pe);
+    ++ws.stats.evals;
     fl.resize(n);
     for (size_t i = 0; i < n; ++i) fl[i] = (fPert[i] - fAt[i]) / dLamFd;
   };
@@ -237,6 +259,7 @@ bool solveDcArclength(const MnaSystem& sys, RealVector& x,
         for (size_t i = 0; i < n; ++i) ab[n + i] = fl[i];
         if (sparse) ws.slu.solveManyInPlace(ab, 2);
         else ws.dlu.solveManyInPlace(ab, 2);
+        ws.stats.solves += 2;
         const std::span<const Real> a(ab.data(), n);
         const std::span<const Real> b(ab.data() + n, n);
         Real bigN = tl * (lamc - lam) - ds;
@@ -256,6 +279,8 @@ bool solveDcArclength(const MnaSystem& sys, RealVector& x,
         }
         lamc += scale * dl;
         if (iterationsOut) ++*iterationsOut;
+        ++ws.stats.newtonIterations;
+        telemetryCount(Counter::kNewtonIterations);
         if (resNorm < opt.residualTol && stepNorm * scale < opt.updateTol) {
           converged = true;
           // Grow the arc step after an easy corrector (few iterations).
@@ -314,6 +339,7 @@ bool solveDcArclength(const MnaSystem& sys, RealVector& x,
 
 DcResult solveDc(const MnaSystem& sys, const DcOptions& opt,
                  const RealVector* initialGuess) {
+  TraceSpan span(Phase::kDc, "dc");
   DcResult result;
   result.x.assign(sys.size(), 0.0);
   if (initialGuess) {
@@ -326,8 +352,8 @@ DcResult solveDc(const MnaSystem& sys, const DcOptions& opt,
   DcWorkspace ws;
 
   // Plain Newton first.
-  if (newtonSolve(sys, result.x, opt, 1.0, opt.gshunt, &result.iterations,
-                  &ws)) {
+  if (newtonSolve(sys, result.x, opt, 1.0, opt.gshunt, nullptr, &ws)) {
+    result.stats = ws.stats;
     return result;
   }
 
@@ -349,7 +375,7 @@ DcResult solveDc(const MnaSystem& sys, const DcOptions& opt,
     // Rung budget including retries: the plain ladder used gminSteps rungs;
     // backtracking may re-walk hard levels at a finer stride.
     for (int attempt = 0; attempt < 6 * opt.gminSteps; ++attempt) {
-      if (newtonSolve(sys, x, opt, 1.0, g, &result.iterations, &ws)) {
+      if (newtonSolve(sys, x, opt, 1.0, g, nullptr, &ws)) {
         xGood = x;
         gGood = g;
         haveGood = true;
@@ -375,10 +401,10 @@ DcResult solveDc(const MnaSystem& sys, const DcOptions& opt,
     // Final solve with the caller's shunt only.
     if (haveGood) {
       x = xGood;
-      if (newtonSolve(sys, x, opt, 1.0, opt.gshunt, &result.iterations,
-                      &ws)) {
+      if (newtonSolve(sys, x, opt, 1.0, opt.gshunt, nullptr, &ws)) {
         result.x = x;
         result.usedGminStepping = true;
+        result.stats = ws.stats;
         return result;
       }
     }
@@ -398,8 +424,7 @@ DcResult solveDc(const MnaSystem& sys, const DcOptions& opt,
     for (int attempt = 0; attempt < 8 * opt.sourceSteps && scale < 1.0;
          ++attempt) {
       const Real target = std::min(1.0, scale + ds);
-      if (newtonSolve(sys, x, opt, target, opt.gshunt, &result.iterations,
-                      &ws)) {
+      if (newtonSolve(sys, x, opt, target, opt.gshunt, nullptr, &ws)) {
         scale = target;
         xGood = x;
         ds = std::min(ds * 2.0, dsNominal);  // re-widen after success
@@ -415,6 +440,7 @@ DcResult solveDc(const MnaSystem& sys, const DcOptions& opt,
     if (!stalled && scale >= 1.0) {
       result.x = x;
       result.usedSourceStepping = true;
+      result.stats = ws.stats;
       return result;
     }
   }
@@ -424,10 +450,11 @@ DcResult solveDc(const MnaSystem& sys, const DcOptions& opt,
   // Trace the solution curve itself instead.
   {
     RealVector x;
-    if (solveDcArclength(sys, x, opt, ws, &result.iterations,
+    if (solveDcArclength(sys, x, opt, ws, nullptr,
                          &result.arclengthSteps)) {
       result.x = x;
       result.usedArclength = true;
+      result.stats = ws.stats;
       return result;
     }
   }

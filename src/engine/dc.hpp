@@ -7,6 +7,7 @@
 #include "engine/mna.hpp"
 #include "numeric/dense_lu.hpp"
 #include "numeric/sparse_lu.hpp"
+#include "util/telemetry.hpp"
 
 namespace psmn {
 
@@ -42,7 +43,11 @@ struct DcOptions {
 
 struct DcResult {
   RealVector x;
-  int iterations = 0;
+  /// Cumulative cost over every strategy attempted (plain Newton, every
+  /// homotopy rung including retries, and the arclength trace). The old
+  /// `iterations` field reported only the last newtonSolve's count;
+  /// `stats.newtonIterations` is the true total.
+  SolveStats stats;
   bool usedGminStepping = false;
   bool usedSourceStepping = false;
   bool usedArclength = false;
@@ -65,6 +70,8 @@ struct DcWorkspace {
   /// ConvergenceError it throws; ladder rungs overwrite it freely.
   FailureDiagnostics lastFailure;
   bool haveFailure = false;
+  /// Cumulative cost of every solve run through this workspace.
+  SolveStats stats;
 };
 
 /// Solves f(x, t) = 0. Throws ConvergenceError (with FailureDiagnostics)

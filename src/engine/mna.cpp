@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/fault_injection.hpp"
+#include "util/telemetry.hpp"
 
 namespace psmn {
 
@@ -19,6 +20,7 @@ void MnaSystem::evalDense(std::span<const Real> x, Real t, RealVector* f,
                           RealVector* q, RealMatrix* g, RealMatrix* c,
                           const EvalOptions& opt) const {
   PSMN_CHECK(x.size() == n_, "state size mismatch");
+  telemetryCount(Counter::kMnaEvals);
   if (f) f->assign(n_, 0.0);
   if (q) q->assign(n_, 0.0);
   if (g) g->resize(n_, n_);
@@ -72,6 +74,7 @@ void MnaSystem::evalSparse(std::span<const Real> x, Real t, RealVector* f,
                            RealVector* q, RealSparse* g, RealSparse* c,
                            const EvalOptions& opt) const {
   PSMN_CHECK(x.size() == n_, "state size mismatch");
+  telemetryCount(Counter::kMnaEvals);
   PSMN_CHECK(g != nullptr || c != nullptr,
              "evalSparse needs a matrix target; use evalDense for f/q only");
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/fault_injection.hpp"
+#include "util/telemetry.hpp"
 #include "util/units.hpp"
 
 namespace psmn {
@@ -52,8 +53,8 @@ RealVector TransientResult::waveform(int mnaIndex) const {
 bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
                    Real t, Real h, RealVector& x, RealVector& q,
                    RealVector& qd, const RealVector* qm1,
-                   const TranOptions& opt, TransientWorkspace& ws,
-                   size_t* newtonCount) {
+                   const TranOptions& opt, TransientWorkspace& ws) {
+  TraceSpan stepSpan(Phase::kStep, "tran_step", TraceDetail::kStep);
   const size_t n = sys.size();
   ws.chooseBackend(n, opt);
   const Real t1 = t + h;
@@ -89,6 +90,7 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
 
   bool converged = false;
   for (int iter = 0; iter < opt.maxNewton; ++iter) {
+    TraceSpan iterSpan(Phase::kNewton, "newton_iter", TraceDetail::kKernel);
     // Evaluate and assemble J = G + a*C.
     if (ws.sparse) {
       sys.evalSparse(ws.x1, t1, &ws.f, &ws.q1, &ws.gsp, &ws.csp, eopt);
@@ -103,6 +105,7 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
         for (size_t col = 0; col < n; ++col) jrow[col] += a * crow[col];
       }
     }
+    ++ws.stats.evals;
     ws.r.resize(n);
     for (size_t i = 0; i < n; ++i) ws.r[i] = ws.f[i] + a * ws.q1[i] + ws.rhsQ[i];
     const Real resNorm = maxAbsVec(ws.r);
@@ -121,15 +124,16 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
     try {
       if (ws.sparse) {
         if (ws.sluSymbolic && ws.slu.refactor(ws.jac.matrix)) {
-          ++ws.refactorizations;
+          ++ws.stats.refactorizations;
         } else {
           ws.slu.factor(ws.jac.matrix, 0.1, ws.ordering);
           ws.sluSymbolic = true;
-          ++ws.fullFactorizations;
+          ++ws.stats.factorizations;
         }
+        ws.stats.factorNnz = ws.slu.factorNonZeros();
       } else {
         ws.dlu.factor(ws.j);
-        ++ws.fullFactorizations;
+        ++ws.stats.factorizations;
       }
     } catch (const NumericalError&) {
       recordStepFailure(ws, sys, "tran-newton/factorization", iter, resNorm,
@@ -141,6 +145,7 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
     for (Real& v : ws.r) v = -v;
     if (ws.sparse) ws.slu.solveInPlace(ws.r);
     else ws.dlu.solveInPlace(ws.r);
+    ++ws.stats.solves;
 
     const Real stepNorm = maxAbsVec(ws.r);
     if (!std::isfinite(stepNorm)) {  // don't poison the iterate
@@ -151,7 +156,8 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
     Real scale = 1.0;
     if (stepNorm > opt.maxStep) scale = opt.maxStep / stepNorm;
     for (size_t i = 0; i < n; ++i) ws.x1[i] += scale * ws.r[i];
-    if (newtonCount) ++*newtonCount;
+    ++ws.stats.newtonIterations;
+    telemetryCount(Counter::kNewtonIterations);
     if (resNorm < opt.residualTol && stepNorm * scale < opt.updateTol) {
       // Injected stagnation: refuse the acceptance and keep iterating (see
       // the matching probe in newtonSolve).
@@ -200,10 +206,9 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
 bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
                    Real t, Real h, RealVector& x, RealVector& q,
                    RealVector& qd, const RealVector* qm1,
-                   const TranOptions& opt, size_t* newtonCount) {
+                   const TranOptions& opt) {
   TransientWorkspace ws;
-  return integrateStep(sys, method, beStep, t, h, x, q, qd, qm1, opt, ws,
-                       newtonCount);
+  return integrateStep(sys, method, beStep, t, h, x, q, qd, qm1, opt, ws);
 }
 
 namespace {
@@ -232,6 +237,7 @@ namespace {
 TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
                              const TranOptions& opt) {
   PSMN_CHECK(t1 > t0 && dt > 0.0, "bad transient window");
+  TraceSpan span(Phase::kTransient, "transient");
   const size_t n = sys.size();
   TransientResult result;
 
@@ -296,8 +302,7 @@ TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
       for (size_t k = 0; k < count; ++k) {
         qSave.assign(q.begin(), q.end());
         if (!integrateStep(sys, opt.method, forceBE, t, hseg, x, q, qd,
-                           havePrev ? &qPrev : nullptr, opt, ws,
-                           &result.newtonIterations)) {
+                           havePrev ? &qPrev : nullptr, opt, ws)) {
           throwStepFailure(ws, t + hseg, "transient Newton failed at t=" +
                                              formatEng(t + hseg) + "s");
         }
@@ -305,7 +310,8 @@ TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
         havePrev = true;
         forceBE = false;
         t += hseg;
-        ++result.steps;
+        ++ws.stats.steps;
+        telemetryCount(Counter::kStepsAccepted);
         if (opt.storeStates) {
           result.times.push_back(t);
           result.states.push_back(x);
@@ -319,8 +325,7 @@ TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
         qSave.assign(q.begin(), q.end());
         qdSave.assign(qd.begin(), qd.end());
         bool ok = integrateStep(sys, opt.method, forceBE, t, hTry, x, q, qd,
-                                havePrev ? &qPrev : nullptr, opt, ws,
-                                &result.newtonIterations);
+                                havePrev ? &qPrev : nullptr, opt, ws);
         Real err = 0.0;
         if (ok) {
           // Step-size control from the local charge-derivative change; a
@@ -347,7 +352,8 @@ TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
         havePrev = true;
         forceBE = false;
         t += hTry;
-        ++result.steps;
+        ++ws.stats.steps;
+        telemetryCount(Counter::kStepsAccepted);
         if (opt.storeStates) {
           result.times.push_back(t);
           result.states.push_back(x);
@@ -360,6 +366,7 @@ TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
     havePrev = false;
   }
 
+  result.stats = ws.stats;
   result.finalState = std::move(x);
   return result;
 }

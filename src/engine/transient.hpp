@@ -95,9 +95,10 @@ struct TransientWorkspace {
   // sparse workspace keeps G and C separately). Set by integrateStep.
   Real acceptedA = 0.0;
 
-  // Cost counters (cumulative over the workspace lifetime).
-  size_t fullFactorizations = 0;
-  size_t refactorizations = 0;
+  // Cost counters, cumulative over the workspace lifetime (the old
+  // fullFactorizations/refactorizations fields live on as
+  // stats.factorizations/stats.refactorizations).
+  SolveStats stats;
 
   /// Post-mortem of the most recent integrateStep that returned false
   /// (iteration, residual, suspect unknowns). runTransient folds it into
@@ -133,8 +134,10 @@ struct TransientResult {
   std::vector<Real> times;
   std::vector<RealVector> states;  // one state per accepted time point
   RealVector finalState;
-  size_t newtonIterations = 0;  // total, for cost reporting
-  size_t steps = 0;
+  /// Run cost: stats.steps counts accepted steps, stats.newtonIterations
+  /// every Newton iteration including rejected adaptive attempts. The
+  /// initial DC solve is not included (matching the old counters).
+  SolveStats stats;
 
   /// Extracts the waveform of one MNA unknown.
   RealVector waveform(int mnaIndex) const;
@@ -151,14 +154,13 @@ TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
 bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
                    Real t, Real h, RealVector& x, RealVector& q,
                    RealVector& qd, const RealVector* qm1,
-                   const TranOptions& opt, TransientWorkspace& ws,
-                   size_t* newtonCount = nullptr);
+                   const TranOptions& opt, TransientWorkspace& ws);
 
 /// Convenience overload with a throwaway workspace (one-off steps; the
 /// engines hold a workspace across steps instead).
 bool integrateStep(const MnaSystem& sys, IntegrationMethod method, bool beStep,
                    Real t, Real h, RealVector& x, RealVector& q,
                    RealVector& qd, const RealVector* qm1,
-                   const TranOptions& opt, size_t* newtonCount = nullptr);
+                   const TranOptions& opt);
 
 }  // namespace psmn

@@ -24,6 +24,7 @@ TransientSensitivityResult runTransientSensitivity(
     const MnaSystem& sys, Real t0, Real t1, Real dt,
     std::span<const InjectionSource> sources, const TranOptions& opt) {
   PSMN_CHECK(t1 > t0 && dt > 0.0, "bad transient window");
+  TraceSpan span(Phase::kSensitivity, "transient_sensitivity");
   const size_t n = sys.size();
   const size_t ns = sources.size();
   TransientSensitivityResult result;
@@ -77,7 +78,8 @@ TransientSensitivityResult runTransientSensitivity(
       DenseLU<Real> lu(ws.j);
       lu.solveManyInPlace(rhsAll, ns);
     }
-    ++result.luFactorizations;
+    ++result.stats.factorizations;
+    result.stats.solves += ns;
     for (size_t i = 0; i < ns; ++i) {
       s[i].assign(rhsAll.begin() + i * n, rhsAll.begin() + (i + 1) * n);
     }
@@ -156,7 +158,7 @@ TransientSensitivityResult runTransientSensitivity(
     const Real h = (stop - t) / static_cast<Real>(count);
     for (size_t k = 0; k < count; ++k) {
       if (!integrateStep(sys, IntegrationMethod::kBackwardEuler, true, t, h, x,
-                         q, qd, nullptr, stepOpt, ws, nullptr)) {
+                         q, qd, nullptr, stepOpt, ws)) {
         throw ConvergenceError("transient-sensitivity Newton failed at t=" +
                                std::to_string(t + h));
       }
@@ -174,6 +176,11 @@ TransientSensitivityResult runTransientSensitivity(
       // across the pool's slots when the caller supplied one.
       hCur = h;
       forEachColumnBlock(opt.pool, ns, updateColumns);
+      // Fan-out accounting on the dispatching side: the per-slot solves run
+      // on worker threads, but their column total is deterministic.
+      result.stats.solves += ns;
+      ++result.stats.steps;
+      telemetryCount(Counter::kStepsAccepted);
       if (ws.sparse) cPrevSp = ws.csp;
       else cPrevDn = ws.c;
       result.times.push_back(t);
@@ -181,7 +188,7 @@ TransientSensitivityResult runTransientSensitivity(
       for (size_t i = 0; i < ns; ++i) result.sens[i].push_back(s[i]);
     }
   }
-  result.luFactorizations += ws.fullFactorizations + ws.refactorizations;
+  result.stats.add(ws.stats);
   return result;
 }
 

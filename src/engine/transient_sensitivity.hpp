@@ -20,11 +20,14 @@ struct TransientSensitivityResult {
   /// sens[i] is the sensitivity waveform matrix for source i: one vector
   /// dx/dp_i per time point.
   std::vector<std::vector<RealVector>> sens;
-  /// Cost counter: every factorization of the linearized system (Newton
-  /// full factorizations + sparse numeric refactorizations + the initial
-  /// DC-sensitivity factor). The sensitivity recursion itself adds none —
-  /// it reuses the accepted-step Newton factorization for all sources.
-  size_t luFactorizations = 0;
+  /// Run cost. stats.totalFactorizations() counts every factorization of
+  /// the linearized system (Newton full factorizations + sparse numeric
+  /// refactorizations + the initial DC-sensitivity factor) — the old
+  /// `luFactorizations` field. The sensitivity recursion itself adds no
+  /// factorizations (it reuses the accepted-step Newton factorization for
+  /// all sources); its per-step multi-RHS substitutions land in
+  /// stats.solves (ns columns per accepted step).
+  SolveStats stats;
 
   /// Sensitivity of the crossing time of unknown `outIndex` through `level`
   /// (direction +1 rising / -1 falling) w.r.t. parameter i:

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/fault_injection.hpp"
+#include "util/telemetry.hpp"
 
 namespace psmn {
 
@@ -53,6 +54,7 @@ void DenseLU<T>::factor(const Matrix<T>& a) {
     }
   }
   pivotRatio_ = (maxPivot > 0.0) ? minPivot / maxPivot : 0.0;
+  telemetryCount(Counter::kDenseFactors);
 }
 
 template <class T>
@@ -65,6 +67,7 @@ void DenseLU<T>::solveInPlace(std::span<T> b,
                               LuSolveScratch<T>& scratch) const {
   const size_t n = size();
   PSMN_CHECK(b.size() == n, "LU solve: rhs size mismatch");
+  telemetryCount(Counter::kSolveColumns);
   // Apply permutation.
   scratch.x.resize(n);
   std::span<T> x = scratch.x;
@@ -104,6 +107,7 @@ void DenseLU<T>::solveTransposedInPlace(std::span<T> b,
   // A = P^T L U  =>  A^T x = b  <=>  U^T L^T P x = b.
   const size_t n = size();
   PSMN_CHECK(b.size() == n, "LU solveT: rhs size mismatch");
+  telemetryCount(Counter::kSolveColumns);
   std::vector<T>& x = scratch.x;
   x.assign(b.begin(), b.end());
   // Solve U^T y = b (U^T is lower triangular).

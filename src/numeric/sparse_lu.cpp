@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/fault_injection.hpp"
+#include "util/telemetry.hpp"
 
 namespace psmn {
 namespace {
@@ -174,6 +175,8 @@ void SparseLU<T>::factor(const SparseMatrix<T>& a, double pivotThreshold,
     uPtr_.push_back(static_cast<int>(uIdx_.size()));
   }
   valid_ = true;
+  telemetryCount(Counter::kSparseFactors);
+  telemetryCount(Counter::kFactorNnzTotal, lVal_.size() + uVal_.size());
 }
 
 template <class T>
@@ -237,6 +240,8 @@ bool SparseLU<T>::refactor(const SparseMatrix<T>& a, double pivotTol) {
     }
   }
   valid_ = true;
+  telemetryCount(Counter::kSparseRefactors);
+  telemetryCount(Counter::kFactorNnzTotal, lVal_.size() + uVal_.size());
   return true;
 }
 
@@ -250,6 +255,7 @@ void SparseLU<T>::solveInPlace(std::span<T> b,
                                LuSolveScratch<T>& scratch) const {
   PSMN_CHECK(b.size() == n_, "sparse LU solve: rhs size mismatch");
   PSMN_CHECK(valid_, "sparse LU solve: not factored");
+  telemetryCount(Counter::kSolveColumns);
   std::vector<T>& solveRhs_ = scratch.rhs;
   std::vector<T>& solveX_ = scratch.x;
   solveRhs_.assign(b.begin(), b.end());
@@ -296,6 +302,7 @@ void SparseLU<T>::solveManyInPlace(std::span<T> b, size_t nrhs,
     solveInPlace(b, scratch);
     return;
   }
+  telemetryCount(Counter::kSolveColumns, nrhs);
   std::vector<T>& solveRhs_ = scratch.rhs;
   std::vector<T>& solveX_ = scratch.x;
   solveRhs_.assign(b.begin(), b.end());
@@ -343,6 +350,7 @@ void SparseLU<T>::solveTransposedInPlace(std::span<T> b,
                                          LuSolveScratch<T>& scratch) const {
   PSMN_CHECK(b.size() == n_, "sparse LU solveT: rhs size mismatch");
   PSMN_CHECK(valid_, "sparse LU solveT: not factored");
+  telemetryCount(Counter::kSolveColumns);
   // With A^{-1} = Q U^{-1} L^{-1} P (see solveInPlace), the transposed
   // solve is A^{-T} = P^T L^{-T} U^{-T} Q^T. Both triangular passes turn
   // into gathers over the stored CSC columns: a column of U (resp. L) is a
@@ -386,6 +394,7 @@ void SparseLU<T>::solveTransposedManyInPlace(std::span<T> b, size_t nrhs,
     solveTransposedInPlace(b, scratch);
     return;
   }
+  telemetryCount(Counter::kSolveColumns, nrhs);
   std::vector<T>& solveX_ = scratch.x;
   solveX_.resize(n_ * nrhs);
   T* x = solveX_.data();

@@ -6,6 +6,7 @@
 #include "numeric/dense_lu.hpp"
 #include "numeric/sparse_lu.hpp"
 #include "runtime/thread_pool.hpp"
+#include "util/telemetry.hpp"
 
 namespace psmn {
 namespace {
@@ -304,6 +305,7 @@ std::vector<CplxVector> LptvSolver::sourceEnvelope(const InjectionSource& src,
 
 LptvSolution LptvSolver::solveDirect(std::span<const InjectionSource> sources,
                                      Real offsetFreq) const {
+  TraceSpan span(Phase::kLptv, "lptv_direct");
   const size_t n = sys_->size();
   const size_t m = pss_->stepCount();
   const Real h = pss_->stepSize();
@@ -393,6 +395,7 @@ LptvSolution LptvSolver::solveDirect(std::span<const InjectionSource> sources,
 CplxVector LptvSolver::solveAdjoint(std::span<const InjectionSource> sources,
                                     Real offsetFreq, int outIndex,
                                     int harmonic) const {
+  TraceSpan span(Phase::kLptv, "lptv_adjoint");
   const size_t n = sys_->size();
   const size_t m = pss_->stepCount();
   const Real h = pss_->stepSize();

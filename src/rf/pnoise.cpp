@@ -1,5 +1,7 @@
 #include "rf/pnoise.hpp"
 
+#include "util/telemetry.hpp"
+
 namespace psmn {
 
 PnoiseAnalysis::PnoiseAnalysis(const MnaSystem& sys, const PssResult& pss,
@@ -24,6 +26,7 @@ PnoiseAnalysis::PnoiseAnalysis(const MnaSystem& sys, const PssResult& pss,
 }
 
 void PnoiseAnalysis::run() {
+  TraceSpan span(Phase::kPnoise, "pnoise");
   solution_ = solver_.solveDirect(sources_, opt_.offsetFreq);
 }
 

@@ -11,6 +11,7 @@
 #include "numeric/fourier.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/fault_injection.hpp"
+#include "util/telemetry.hpp"
 
 namespace psmn {
 namespace {
@@ -53,7 +54,7 @@ struct PeriodIntegration {
   std::vector<RealSparse> gSpMats;    // 0..M (sparse backend)
   std::vector<RealSparse> cSpMats;
   RealMatrix monodromy;               // only when wanted
-  size_t newtonIterations = 0;
+  SolveStats stats;  // cost delta of this integration (workspace snapshot)
 };
 
 /// Propagates the monodromy through one accepted step:
@@ -128,9 +129,10 @@ PeriodIntegration integratePeriod(const MnaSystem& sys, const RealVector& x0,
                                   bool wantTrajectory, PssWorkspace& pw) {
   PeriodIntegration out;
   out.xEnd = x0;
+  const SolveStats before = pw.tran.stats;
   if (!wantMonodromy && !wantTrajectory) {
-    integratePeriodInPlace(sys, out.xEnd, t0, period, steps, opt, pw,
-                           &out.newtonIterations);
+    integratePeriodInPlace(sys, out.xEnd, t0, period, steps, opt, pw);
+    out.stats = SolveStats::since(before, pw.tran.stats);
     return out;
   }
 
@@ -163,17 +165,23 @@ PeriodIntegration integratePeriod(const MnaSystem& sys, const RealVector& x0,
   }
   if (wantTrajectory) out.states.push_back(x);
   if (wantMonodromy) out.monodromy = RealMatrix::identity(n);
+  ++ws.stats.evals;  // the initial linearization evaluated above
   pw.qd.assign(n, 0.0);
 
   for (int k = 1; k <= steps; ++k) {
     if (!integrateStep(sys, IntegrationMethod::kBackwardEuler, true,
-                       t0 + h * (k - 1), h, x, pw.q, pw.qd, nullptr, topt, ws,
-                       &out.newtonIterations)) {
+                       t0 + h * (k - 1), h, x, pw.q, pw.qd, nullptr, topt,
+                       ws)) {
       throw ConvergenceError("PSS inner Newton failed at step " +
                              std::to_string(k));
     }
+    ++ws.stats.steps;
+    telemetryCount(Counter::kStepsAccepted);
     if (wantMonodromy) {
       propagateMonodromy(pw, out.monodromy, h, opt.pool);
+      // Fan-out accounting on the dispatching side: the n monodromy
+      // columns solve on worker threads, but the total is deterministic.
+      ws.stats.solves += n;
       if (ws.sparse) pw.cPrevSparse = ws.csp;
       else pw.cPrevDense = ws.c;
     }
@@ -196,12 +204,14 @@ PeriodIntegration integratePeriod(const MnaSystem& sys, const RealVector& x0,
       }
     }
   }
+  out.stats = SolveStats::since(before, pw.tran.stats);
   return out;
 }
 
 PssResult packResult(const MnaSystem& sys, const RealVector& x0, Real t0,
                      Real period, int steps, const PssOptions& opt,
-                     int shootIters, size_t newtonIters, PssWorkspace& pw) {
+                     int shootIters, const SolveStats& shootStats,
+                     PssWorkspace& pw) {
   PeriodIntegration fin = integratePeriod(sys, x0, t0, period, steps, opt,
                                           /*wantMonodromy=*/true,
                                           /*wantTrajectory=*/true, pw);
@@ -217,7 +227,8 @@ PssResult packResult(const MnaSystem& sys, const RealVector& x0, Real t0,
   res.cSpMats = std::move(fin.cSpMats);
   res.monodromy = std::move(fin.monodromy);
   res.shootingIterations = shootIters;
-  res.newtonIterations = newtonIters + fin.newtonIterations;
+  res.stats = shootStats;
+  res.stats.add(fin.stats);
   const Real h = period / steps;
   res.times.resize(steps + 1);
   for (int k = 0; k <= steps; ++k) res.times[k] = t0 + h * k;
@@ -228,7 +239,7 @@ PssResult packResult(const MnaSystem& sys, const RealVector& x0, Real t0,
 
 void integratePeriodInPlace(const MnaSystem& sys, RealVector& x, Real t0,
                             Real period, int steps, const PssOptions& opt,
-                            PssWorkspace& pw, size_t* newtonCount) {
+                            PssWorkspace& pw) {
   const size_t n = sys.size();
   const Real h = period / steps;
   const TranOptions topt = stepOptions(opt);
@@ -239,15 +250,18 @@ void integratePeriodInPlace(const MnaSystem& sys, RealVector& x, Real t0,
   MnaSystem::EvalOptions eopt;
   eopt.gshunt = opt.gshunt;
   sys.evalDense(x, t0, nullptr, &pw.q, nullptr, nullptr, eopt);
+  ++pw.tran.stats.evals;
   pw.qd.resize(n);
   std::fill(pw.qd.begin(), pw.qd.end(), 0.0);
   for (int k = 1; k <= steps; ++k) {
     if (!integrateStep(sys, IntegrationMethod::kBackwardEuler, true,
                        t0 + h * (k - 1), h, x, pw.q, pw.qd, nullptr, topt,
-                       pw.tran, newtonCount)) {
+                       pw.tran)) {
       throw ConvergenceError("PSS inner Newton failed at step " +
                              std::to_string(k));
     }
+    ++pw.tran.stats.steps;
+    telemetryCount(Counter::kStepsAccepted);
   }
 }
 
@@ -305,6 +319,7 @@ RealVector pssWarmup(const MnaSystem& sys, Real period, int cycles,
 PssResult solvePssDriven(const MnaSystem& sys, Real period,
                          const PssOptions& opt, const RealVector* x0guess) {
   PSMN_CHECK(period > 0.0, "period must be positive");
+  TraceSpan span(Phase::kPss, "pss_driven");
   const size_t n = sys.size();
   PssWorkspace pw;
   RealVector x0 = x0guess
@@ -313,7 +328,7 @@ PssResult solvePssDriven(const MnaSystem& sys, Real period,
                                   &pw);
   PSMN_CHECK(x0.size() == n, "bad initial guess size");
 
-  size_t newtonTotal = 0;
+  SolveStats shootStats;
   RealVector prevX0;
   bool haveUpdate = false;
   for (int iter = 0; iter < opt.maxShootingIterations; ++iter) {
@@ -329,13 +344,13 @@ PssResult solvePssDriven(const MnaSystem& sys, Real period,
       for (size_t i = 0; i < n; ++i) x0[i] = 0.5 * (x0[i] + prevX0[i]);
       continue;
     }
-    newtonTotal += pi.newtonIterations;
+    shootStats.add(pi.stats);
     RealVector r(n);
     for (size_t i = 0; i < n; ++i) r[i] = pi.xEnd[i] - x0[i];
     const Real rNorm = maxAbsVec(r);
     if (rNorm < opt.shootingTol) {
       return packResult(sys, x0, 0.0, period, opt.stepsPerPeriod, opt,
-                        iter + 1, newtonTotal, pw);
+                        iter + 1, shootStats, pw);
     }
     // Newton: dx0 = (I - Phi)^{-1} r.
     RealMatrix iMinusPhi = RealMatrix::identity(n);
@@ -358,7 +373,7 @@ struct AutonomousShoot {
   RealVector x0;
   Real period = 0.0;
   int iterations = 0;
-  size_t newtonIterations = 0;
+  SolveStats stats;
   /// Conditioning of the last bordered shooting Jacobian (1 = perfect,
   /// 0 = singular). A degenerate multi-wave orbit — extra Floquet
   /// multipliers at 1 — drives this toward 0.
@@ -405,7 +420,7 @@ bool shootAutonomousCore(const MnaSystem& sys, AutonomousShoot& st,
       period = 0.5 * (period + prevPeriod);
       continue;
     }
-    st.newtonIterations += pi.newtonIterations;
+    st.stats.add(pi.stats);
     for (size_t i = 0; i < n; ++i) r[i] = pi.xEnd[i] - x0[i];
     const Real rNorm = maxAbsVec(r);
     lastRes = rNorm;
@@ -433,7 +448,7 @@ bool shootAutonomousCore(const MnaSystem& sys, AutonomousShoot& st,
       period = 0.5 * (period + prevPeriod);
       continue;
     }
-    st.newtonIterations += piT.newtonIterations;
+    st.stats.add(piT.stats);
     RealVector dxdT(n);
     for (size_t i = 0; i < n; ++i) dxdT[i] = (piT.xEnd[i] - pi.xEnd[i]) / dT;
 
@@ -489,6 +504,7 @@ PssResult solvePssAutonomous(const MnaSystem& sys, Real periodGuess,
                              int phaseIndex, const RealVector& x0guess,
                              const PssOptions& opt) {
   PSMN_CHECK(periodGuess > 0.0, "period guess must be positive");
+  TraceSpan span(Phase::kPss, "pss_autonomous");
   const size_t n = sys.size();
   PSMN_CHECK(phaseIndex >= 0 && phaseIndex < static_cast<int>(n),
              "bad phase index");
@@ -569,7 +585,7 @@ PssResult solvePssAutonomous(const MnaSystem& sys, Real periodGuess,
   }
 
   PssResult res = packResult(sys, st.x0, 0.0, st.period, opt.stepsPerPeriod,
-                             opt, st.iterations, st.newtonIterations, pw);
+                             opt, st.iterations, st.stats, pw);
   res.autonomous = true;
   res.phaseIndex = phaseIndex;
   res.usedShuntHomotopy = usedHomotopy;

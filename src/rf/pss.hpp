@@ -117,7 +117,12 @@ struct PssResult {
   std::vector<RealSparse> cSpMats;
   RealMatrix monodromy;
   int shootingIterations = 0;
-  size_t newtonIterations = 0;  // total inner iterations (cost reporting)
+  /// Solve cost. Driven: everything after the warmup (shooting iterations
+  /// plus the final trajectory pass) — the old `newtonIterations` counting.
+  /// Autonomous: the whole solve including homotopy rungs. stats.steps
+  /// counts backward-Euler integration sub-steps of those periods;
+  /// stats.solves includes the monodromy fan-out columns.
+  SolveStats stats;
   /// Autonomous only: plain shooting failed and the relaxed-circuit
   /// homotopy ladder produced this solution.
   bool usedShuntHomotopy = false;
@@ -164,7 +169,7 @@ RealVector pssWarmup(const MnaSystem& sys, Real period, int cycles,
 /// call performs no heap allocation.
 void integratePeriodInPlace(const MnaSystem& sys, RealVector& x, Real t0,
                             Real period, int steps, const PssOptions& opt,
-                            PssWorkspace& ws, size_t* newtonCount = nullptr);
+                            PssWorkspace& ws);
 
 /// Integrates one period like integratePeriodInPlace and additionally
 /// accumulates the monodromy Phi = prod_k J_k^{-1} (C_{k-1}/h) — the

@@ -1,9 +1,11 @@
 #include "runtime/scenario_sweep.hpp"
 
 #include <cmath>
+#include <mutex>
 #include <optional>
 
 #include "engine/transient_sensitivity.hpp"
+#include "util/telemetry.hpp"
 
 namespace psmn {
 namespace {
@@ -29,6 +31,7 @@ void runOneScenario(const SweepScenario& sc, SweepResult& out) {
       out.times = tr.times;
       out.waveform = tr.waveform(outIdx);
       out.finalState = tr.finalState;
+      out.stats = tr.stats;
       break;
     }
     case SweepAnalysis::kTransientSensitivity: {
@@ -48,6 +51,7 @@ void runOneScenario(const SweepScenario& sc, SweepResult& out) {
         out.sigma[k] = std::sqrt(var);
       }
       if (!sr.states.empty()) out.finalState = sr.states.back();
+      out.stats = sr.stats;
       break;
     }
     case SweepAnalysis::kPssDriven: {
@@ -57,6 +61,7 @@ void runOneScenario(const SweepScenario& sc, SweepResult& out) {
       out.times.assign(pss.times.begin(),
                        pss.times.begin() + out.waveform.size());
       if (!pss.states.empty()) out.finalState = pss.states.front();
+      out.stats = pss.stats;
       break;
     }
     case SweepAnalysis::kMcBatch: {
@@ -89,13 +94,16 @@ void resetAttemptOutputs(SweepResult& out) {
   out.sigma.clear();
   out.finalState.clear();
   out.mc = {};
+  out.stats = {};
 }
 
 }  // namespace
 
 std::vector<SweepResult> runScenarioSweep(
-    std::span<const SweepScenario> scenarios, ThreadPool& pool) {
+    std::span<const SweepScenario> scenarios, ThreadPool& pool,
+    const SweepProgressFn& onProgress) {
   std::vector<SweepResult> results(scenarios.size());
+  std::mutex progressMutex;
   // Chunk of 1: scenarios are coarse units of work, and slot order must
   // not batch them (a slow scenario would serialize its chunk-mates).
   pool.parallelFor(scenarios.size(), 1, [&](size_t b, size_t e, size_t) {
@@ -103,6 +111,8 @@ std::vector<SweepResult> runScenarioSweep(
       SweepResult& out = results[i];
       out.index = i;
       out.name = scenarios[i].name;
+      TraceSpan span(Phase::kScenario, "scenario", scenarios[i].name);
+      telemetryCount(Counter::kScenariosRun);
       // Armed faults live for all of this scenario's attempts: the scope's
       // hit counters make injection a pure function of the scenario, and a
       // count=1 fault fires once and lets the retry pass.
@@ -134,8 +144,13 @@ std::vector<SweepResult> runScenarioSweep(
           out.error = err.what();
         }
         if (a + 1 < maxAttempts) {
+          telemetryCount(Counter::kScenarioRetries);
           tightenScenario(attempt, /*finalAttempt=*/a + 2 == maxAttempts);
         }
+      }
+      if (onProgress) {
+        std::lock_guard<std::mutex> lock(progressMutex);
+        onProgress(out);
       }
     }
   });

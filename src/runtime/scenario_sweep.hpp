@@ -13,6 +13,7 @@
 // reported in its SweepResult instead of aborting the sweep.
 #pragma once
 
+#include <functional>
 #include <span>
 
 #include "core/monte_carlo.hpp"
@@ -95,6 +96,10 @@ struct SweepResult {
   bool hasDiagnostics = false;
   FailureDiagnostics diagnostics;
 
+  /// Cost counters of the successful attempt (zero when !ok, and for
+  /// kMcBatch, whose per-sample costs stay internal to the batch engine).
+  SolveStats stats;
+
   // Waveform analyses.
   std::vector<Real> times;
   RealVector waveform;  // outNode at each time point
@@ -105,10 +110,17 @@ struct SweepResult {
   McResult mc;
 };
 
+/// Called (serialized under an internal mutex) as each scenario finishes,
+/// in completion order — progress reporting, not result consumption;
+/// results still land in input order in the returned vector.
+using SweepProgressFn = std::function<void(const SweepResult&)>;
+
 /// Runs every scenario on the pool, one slot per scenario at a time, and
 /// returns results in input order. Deterministic: scenario evaluation is
-/// self-contained, so results are independent of the pool's job count.
+/// self-contained, so results are independent of the pool's job count (the
+/// optional progress callback observes completion order, which is not).
 std::vector<SweepResult> runScenarioSweep(
-    std::span<const SweepScenario> scenarios, ThreadPool& pool);
+    std::span<const SweepScenario> scenarios, ThreadPool& pool,
+    const SweepProgressFn& onProgress = nullptr);
 
 }  // namespace psmn

@@ -1,6 +1,9 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <optional>
+
+#include "util/telemetry.hpp"
 
 namespace psmn {
 namespace {
@@ -147,6 +150,14 @@ void ThreadPool::parallelFor(
   const size_t numChunks = (n + chunk - 1) / chunk;
   const size_t drivers =
       tlsWorkerPool == this ? 1 : std::min(jobCount(), numChunks);
+  // Bind the calling thread to registry slot 0 unless it already carries a
+  // binding (a worker running a nested inline loop, or a caller that
+  // installed its own TelemetryScope) — rebinding would misattribute the
+  // outer scope's slot.
+  std::optional<TelemetryScope> callerScope;
+  if (telemetry_ != nullptr && !telemetryBound()) {
+    callerScope.emplace(*telemetry_, 0);
+  }
   if (drivers <= 1) {
     // Serial fast path: run inline on slot 0, exceptions propagate as-is.
     for (size_t begin = 0; begin < n; begin += chunk) {
@@ -176,8 +187,13 @@ void ThreadPool::parallelFor(
   // starts pulling chunks immediately, so a busy pool can never deadlock
   // this loop — worst case the caller runs every chunk itself (stealing
   // the queued drivers' blocks once its own is drained).
+  TelemetryRegistry* const telemetry = telemetry_;
   for (size_t slot = 1; slot < drivers; ++slot) {
-    post([state, slot] {
+    post([state, slot, telemetry] {
+      std::optional<TelemetryScope> scope;
+      if (telemetry != nullptr && !telemetryBound()) {
+        scope.emplace(*telemetry, slot);
+      }
       state->drive(slot);
       state->retireDriver();
     });

@@ -48,6 +48,8 @@
 
 namespace psmn {
 
+class TelemetryRegistry;  // util/telemetry.hpp
+
 class ThreadPool {
  public:
   /// `jobs` = number of concurrent execution slots (0 -> hardwareJobs()).
@@ -62,6 +64,17 @@ class ThreadPool {
 
   /// std::thread::hardware_concurrency with a floor of 1.
   static size_t hardwareJobs();
+
+  /// Attaches a metrics registry: every parallelFor driver binds its
+  /// execution slot to the registry (TelemetryScope) for the duration of
+  /// the loop, so probes fired from worker threads land in slot-local
+  /// storage. The registry should have at least jobCount() slots (extra
+  /// drivers clamp to the last slot). A driver that is already bound —
+  /// nested inline parallelFor on a worker, or a caller that bound its own
+  /// scope — keeps its existing binding. Pass nullptr to detach. The
+  /// registry must outlive every loop run on this pool.
+  void attachTelemetry(TelemetryRegistry* registry) { telemetry_ = registry; }
+  TelemetryRegistry* telemetry() const { return telemetry_; }
 
   /// Enqueues a task on the work queue (fire-and-forget; exceptions from
   /// queued tasks terminate, so wrap fallible work in parallelFor instead).
@@ -82,6 +95,7 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
+  TelemetryRegistry* telemetry_ = nullptr;
 };
 
 /// Number of per-slot scratch instances a column-block fan-out over n

@@ -1,0 +1,65 @@
+// Machine-readable export of telemetry: Chrome trace-event JSON (loads in
+// chrome://tracing and Perfetto) and the building blocks of the runner's
+// metrics report. Lives in util/ below the runtime layer, so it only
+// knows about TelemetryRegistry and SolveStats; callers (the runner)
+// compose their own sweep/scenario sections with the same JsonWriter.
+#pragma once
+
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "util/telemetry.hpp"
+
+namespace psmn {
+
+/// Minimal streaming JSON writer: a comma-state stack so nested
+/// objects/arrays emit separators correctly, plus string escaping. Enough
+/// for the telemetry exports; not a general serializer.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+  /// Keys the next value (only valid inside an object).
+  void key(std::string_view k);
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(uint64_t v);
+  void value(int64_t v);
+  void value(double v);
+  void value(bool v);
+
+  void field(std::string_view k, std::string_view v) { key(k); value(v); }
+  void field(std::string_view k, uint64_t v) { key(k); value(v); }
+  void field(std::string_view k, int64_t v) { key(k); value(v); }
+  void field(std::string_view k, double v) { key(k); value(v); }
+  void field(std::string_view k, bool v) { key(k); value(v); }
+
+ private:
+  void separate();
+  void writeEscaped(std::string_view s);
+
+  std::ostream& os_;
+  // One entry per open object/array: true once the first element has been
+  // written (so the next one needs a leading comma).
+  std::vector<bool> needComma_{false};
+};
+
+/// Writes the registry's events as a Chrome trace-event file:
+/// {"traceEvents":[{"name","cat","ph":"X","ts","dur","pid","tid",...}],...}.
+/// Timestamps are microseconds (the format's unit) with sub-µs precision
+/// kept as fractions; tracks (tid) are registry slots.
+void writeChromeTrace(std::ostream& os, const TelemetryRegistry& reg);
+
+/// Writes `"counters": {...}, "phase_ns": {...}` fields (registry totals,
+/// merged deterministically in slot order) into the currently open object.
+void writeRegistrySections(JsonWriter& w, const TelemetryRegistry& reg);
+
+/// Writes a SolveStats as an object value for the pending key.
+void writeSolveStats(JsonWriter& w, const SolveStats& s);
+
+}  // namespace psmn

@@ -14,6 +14,7 @@
 #include "engine/dc.hpp"
 #include "engine/transient.hpp"
 #include "rf/pss.hpp"
+#include "util/telemetry.hpp"
 
 namespace {
 std::atomic<size_t> gAllocCount{0};
@@ -90,6 +91,20 @@ TEST(Allocation, SparseSteadyStateStepsAreHeapFree) {
 
 TEST(Allocation, DenseSteadyStateStepsAreHeapFree) {
   EXPECT_EQ(allocationsPerSteadyState(LinearSolverKind::kDense, 20, 100), 0u);
+}
+
+TEST(Allocation, TelemetryProbesStayHeapFree) {
+  // The two tests above already pin the telemetry-DISABLED case (no
+  // registry is bound, every probe is one thread-local pointer test). A
+  // BOUND registry must not regress the steady state either: counters are
+  // plain adds into preallocated slots and spans above the configured
+  // detail are compiled down to a load+compare. Only event COLLECTION
+  // (--trace) is allowed to allocate, which is why it is opt-in.
+  TelemetryRegistry reg(1);  // counters + phase timers, no events
+  TelemetryScope scope(reg, 0);
+  EXPECT_EQ(allocationsPerSteadyState(LinearSolverKind::kSparse, 20, 100), 0u);
+  EXPECT_GT(reg.counterTotal(Counter::kNewtonIterations), 0u);
+  EXPECT_GT(reg.counterTotal(Counter::kSparseRefactors), 0u);
 }
 
 TEST(Allocation, SparsePssPeriodIntegrationIsHeapFree) {

@@ -195,7 +195,7 @@ TEST(SparseSensitivity, InverterChainMatchesDense) {
   }
   // The shared-Jacobian recursion must not add factorizations beyond the
   // Newton kernel's own (plus the initial DC-sensitivity factor).
-  EXPECT_LE(sparse.luFactorizations,
+  EXPECT_LE(sparse.stats.totalFactorizations(),
             sparse.times.size() * 10);  // sanity ceiling, not a perf claim
 }
 
@@ -341,8 +341,8 @@ TEST(SparseOrdering, WorkspaceReusesAmdSymbolicAcrossSteps) {
     ASSERT_TRUE(integrateStep(sys, sopt.method, k == 0, k * h, h, x, q, qd,
                               nullptr, sopt, ws));
   }
-  EXPECT_EQ(ws.fullFactorizations, 1u);  // one AMD symbolic analysis
-  EXPECT_GE(ws.refactorizations, 99u);   // everything else rode the pattern
+  EXPECT_EQ(ws.stats.factorizations, 1u);   // one AMD symbolic analysis
+  EXPECT_GE(ws.stats.refactorizations, 99u);  // everything else rode the pattern
 }
 
 }  // namespace
