@@ -15,6 +15,13 @@
 //   BM_MonodromyParallel/<stages>/<jobs>     — one period of shooting-PSS
 //       monodromy accumulation on an N-stage ring from a warm orbit, the
 //       column blocks fanned via PssOptions::pool.
+//   BM_SweepProcs/<scenarios>/<procs>        — the multi-process sweep:
+//       mismatch transients sharded across worker PROCESSES
+//       (runProcessSweep, jobsPerWorker=1), measuring the spawn + IPC +
+//       serialization overhead on top of the same scenario work
+//       BM_SweepScaling runs in-process. procs=1 still pays one worker
+//       process, so the procs=1 -> in-process jobs=1 gap is the floor
+//       cost of the process boundary itself.
 //
 // Expected shape on a multi-core box (the CI runner): near-linear sweep
 // scaling — on the ragged mix too, which only scales if the steal path
@@ -31,6 +38,8 @@
 
 #include "circuit/stdcell.hpp"
 #include "engine/transient_sensitivity.hpp"
+#include "runtime/ipc.hpp"
+#include "runtime/process_sweep.hpp"
 #include "runtime/scenario_sweep.hpp"
 
 namespace psmn {
@@ -216,6 +225,57 @@ BENCHMARK(BM_MonodromyParallel)
     ->Args({63, 1})
     ->Args({63, 2})
     ->Args({63, 4})
+    ->Unit(benchmark::kMillisecond);
+
+/// The multi-process sharded sweep: seeded mismatch transients on an RC
+/// divider shipped to worker processes over the framed IPC. This bench
+/// links google-benchmark's main, so the workers are the sibling
+/// psmn_sweep_worker binary (built unconditionally next to this one).
+void BM_SweepProcs(benchmark::State& state) {
+  const auto scenarios_n = static_cast<size_t>(state.range(0));
+  const auto procs = static_cast<size_t>(state.range(1));
+  static const char* kDeck = R"(* bench mismatch deck
+v1 top 0 pulse(0 2 1n 0.5n 0.5n 6n 20n)
+r1 top mid 1k sigma=10
+r2 mid 0 1k sigma=10
+c1 mid 0 1p
+)";
+  const std::vector<std::string> decks = {kDeck};
+  std::vector<ProcessScenario> scenarios;
+  for (size_t k = 0; k < scenarios_n; ++k) {
+    ProcessScenario ps;
+    ps.name = "mc" + std::to_string(k);
+    ps.analysis = SweepAnalysis::kTransient;
+    ps.outNode = "mid";
+    ps.t1 = 40e-9;
+    ps.dt = 0.1e-9;
+    ps.tran.storeStates = false;
+    ps.applyMismatch = true;
+    ps.seed = 1;
+    ps.sampleIndex = k;
+    scenarios.push_back(std::move(ps));
+  }
+  ProcessSweepOptions opt;
+  opt.procs = procs;
+  opt.jobsPerWorker = 1;
+  const std::string self = selfExecutablePath();
+  opt.workerExe =
+      self.substr(0, self.find_last_of('/') + 1) + "psmn_sweep_worker";
+  for (auto _ : state) {
+    const auto results = runProcessSweep(decks, scenarios, opt);
+    for (const auto& r : results) {
+      if (!r.ok) state.SkipWithError(r.error.c_str());
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["scenarios"] = static_cast<double>(scenarios_n);
+  state.counters["procs"] = static_cast<double>(procs);
+}
+BENCHMARK(BM_SweepProcs)
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Args({16, 4})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

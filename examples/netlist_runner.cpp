@@ -15,6 +15,15 @@
 // --jobs value (per-scenario RNG streams are derived from the scenario
 // index, never from thread timing).
 //
+// Multi-process mode (docs/user_guide.md "Multi-process sweeps"):
+//
+//   netlist_runner deck.sp --sweep mc:64 --procs 4 --jobs 2
+//
+// shards the sweep across 4 worker processes — re-entries of this binary
+// with --worker — each running 2 pool jobs; worker crashes cost bounded
+// per-scenario retries, and results (values, stats, counters) stay
+// byte-identical to the in-process run for every jobs x procs topology.
+//
 // Observability flags (docs/user_guide.md "Run reports"):
 //   --metrics out.json          machine-readable run report (counters,
 //                               phase timers, per-card/per-scenario stats)
@@ -36,6 +45,7 @@
 #include "engine/transient.hpp"
 #include "meas/measure.hpp"
 #include "numeric/statistics.hpp"
+#include "runtime/process_sweep.hpp"
 #include "runtime/scenario_sweep.hpp"
 #include "util/trace_export.hpp"
 #include "util/units.hpp"
@@ -60,6 +70,8 @@ C2 out 0 4p
 struct RunnerArgs {
   std::string deckPath;
   size_t jobs = 1;        // --jobs N (0 = hardware)
+  size_t procs = 1;       // --procs N (>1: multi-process sweep)
+  bool worker = false;    // --worker: process-sweep worker re-entry
   size_t sweepSamples = 0;  // --sweep mc:N (0 = no sweep)
   uint64_t seed = 1;      // --seed S
   std::string probe;      // --probe <node>; default from the .pnoise card
@@ -89,6 +101,14 @@ bool parseArgs(int argc, char** argv, RunnerArgs& args) {
     };
     if (a == "--jobs") {
       args.jobs = std::strtoul(value("--jobs"), nullptr, 10);
+    } else if (a == "--procs") {
+      args.procs = std::strtoul(value("--procs"), nullptr, 10);
+      if (args.procs == 0) {
+        std::fprintf(stderr, "--procs needs N >= 1\n");
+        return false;
+      }
+    } else if (a == "--worker") {
+      args.worker = true;
     } else if (a == "--seed") {
       args.seed = std::strtoull(value("--seed"), nullptr, 10);
     } else if (a == "--probe") {
@@ -172,37 +192,7 @@ int runSweep(const std::string& deckText, const ParsedCircuit& pc,
     return 1;
   }
 
-  // One shared copy of the deck source: each scenario re-parses it into a
-  // private netlist and applies its sample draw — applyMismatchSample is
-  // the MC engine's own stream, so scenario k reproduces MC sample k.
-  const auto deck = std::make_shared<const std::string>(deckText);
-  std::vector<SweepScenario> scenarios;
-  for (size_t k = 0; k < args.sweepSamples; ++k) {
-    SweepScenario sc;
-    sc.name = "mc" + std::to_string(k);
-    sc.make = [deck, seed = args.seed, k] {
-      ParsedCircuit spc = parseNetlistString(*deck);
-      spc.netlist->finalize();
-      applyMismatchSample(spc.netlist->mismatchParams(), nullptr, seed, k);
-      return std::move(spc.netlist);
-    };
-    sc.analysis = SweepAnalysis::kTransient;
-    sc.outNode = probe;
-    sc.t1 = tstop;
-    sc.dt = dt;
-    sc.tran.storeStates = false;
-    sc.retry.maxRetries = 2;
-    scenarios.push_back(std::move(sc));
-  }
-
-  ThreadPool pool(args.jobs);
-  pool.attachTelemetry(&reg);
-  std::printf("sweep: %zu mismatch scenarios of .tran %s %s on %zu job(s), "
-              "probe v(%s), seed %llu\n",
-              scenarios.size(), formatEng(dt).c_str(),
-              formatEng(tstop).c_str(), pool.jobCount(), probe.c_str(),
-              static_cast<unsigned long long>(args.seed));
-
+  const size_t total = args.sweepSamples;
   SweepProgressFn onProgress;
   size_t done = 0;
   if (args.progress) {
@@ -210,14 +200,79 @@ int runSweep(const std::string& deckText, const ParsedCircuit& pc,
     // below stay in input order.
     onProgress = [&](const SweepResult& r) {
       ++done;
-      std::printf("progress: [%zu/%zu] %-8s %s (attempts=%d)\n", done,
-                  scenarios.size(), r.name.c_str(),
+      std::printf("progress: [%zu/%zu] %-8s %s (attempts=%d)\n", done, total,
+                  r.name.c_str(),
                   r.ok ? (r.recovered ? "recovered" : "ok") : "FAILED",
                   r.attempts);
       std::fflush(stdout);
     };
   }
-  const auto results = runScenarioSweep(scenarios, pool, onProgress);
+
+  std::vector<SweepResult> results;
+  if (args.procs > 1) {
+    // Multi-process mode: serializable scenario specs shipped to --worker
+    // re-entries of this binary; the workers rebuild sample k's netlist
+    // from (seed, k), so results match the in-process path bit for bit.
+    std::vector<ProcessScenario> scenarios;
+    for (size_t k = 0; k < args.sweepSamples; ++k) {
+      ProcessScenario ps;
+      ps.name = "mc" + std::to_string(k);
+      ps.deckIndex = 0;
+      ps.analysis = SweepAnalysis::kTransient;
+      ps.outNode = probe;
+      ps.t1 = tstop;
+      ps.dt = dt;
+      ps.tran.storeStates = false;
+      ps.applyMismatch = true;
+      ps.seed = args.seed;
+      ps.sampleIndex = k;
+      ps.retry.maxRetries = 2;
+      scenarios.push_back(std::move(ps));
+    }
+    ProcessSweepOptions popt;
+    popt.procs = args.procs;
+    popt.jobsPerWorker =
+        args.jobs == 0 ? ThreadPool::hardwareJobs() : args.jobs;
+    std::printf("sweep: %zu mismatch scenarios of .tran %s %s on %zu "
+                "proc(s) x %zu job(s), probe v(%s), seed %llu\n",
+                scenarios.size(), formatEng(dt).c_str(),
+                formatEng(tstop).c_str(), popt.procs, popt.jobsPerWorker,
+                probe.c_str(), static_cast<unsigned long long>(args.seed));
+    const std::vector<std::string> decks = {deckText};
+    results = runProcessSweep(decks, scenarios, popt, &reg, onProgress);
+  } else {
+    // One shared copy of the deck source: each scenario re-parses it into
+    // a private netlist and applies its sample draw — applyMismatchSample
+    // is the MC engine's own stream, so scenario k reproduces MC sample k.
+    const auto deck = std::make_shared<const std::string>(deckText);
+    std::vector<SweepScenario> scenarios;
+    for (size_t k = 0; k < args.sweepSamples; ++k) {
+      SweepScenario sc;
+      sc.name = "mc" + std::to_string(k);
+      sc.make = [deck, seed = args.seed, k] {
+        ParsedCircuit spc = parseNetlistString(*deck);
+        spc.netlist->finalize();
+        applyMismatchSample(spc.netlist->mismatchParams(), nullptr, seed, k);
+        return std::move(spc.netlist);
+      };
+      sc.analysis = SweepAnalysis::kTransient;
+      sc.outNode = probe;
+      sc.t1 = tstop;
+      sc.dt = dt;
+      sc.tran.storeStates = false;
+      sc.retry.maxRetries = 2;
+      scenarios.push_back(std::move(sc));
+    }
+
+    ThreadPool pool(args.jobs);
+    pool.attachTelemetry(&reg);
+    std::printf("sweep: %zu mismatch scenarios of .tran %s %s on %zu "
+                "job(s), probe v(%s), seed %llu\n",
+                scenarios.size(), formatEng(dt).c_str(),
+                formatEng(tstop).c_str(), pool.jobCount(), probe.c_str(),
+                static_cast<unsigned long long>(args.seed));
+    results = runScenarioSweep(scenarios, pool, onProgress);
+  }
 
   MomentAccumulator acc;
   size_t failures = 0;
@@ -333,7 +388,7 @@ int runCards(const ParsedCircuit& pc, const RunnerArgs& args,
 }
 
 /// The --metrics report. Schema (validated by scripts/check_run_report.py):
-/// top-level object with schema_version, deck, jobs, counters{},
+/// top-level object with schema_version, deck, jobs, procs, counters{},
 /// phase_ns{}, analyses[{name, stats{}}], and — in sweep mode —
 /// sweep{scenarios, failed, recovered, total_attempts, stats{},
 /// per_scenario[{name, ok, attempts, recovered, stats{}, error?}]}.
@@ -346,6 +401,7 @@ void writeMetricsReport(std::ostream& os, const RunnerArgs& args, size_t jobs,
   w.field("deck", std::string_view(args.deckPath.empty() ? "(demo)"
                                                          : args.deckPath));
   w.field("jobs", static_cast<uint64_t>(jobs));
+  w.field("procs", static_cast<uint64_t>(args.procs));
   writeRegistrySections(w, reg);
   w.key("analyses");
   w.beginArray();
@@ -431,6 +487,10 @@ bool writeReports(const RunnerArgs& args, size_t jobs,
 int main(int argc, char** argv) {
   RunnerArgs args;
   if (!parseArgs(argc, argv, args)) return 1;
+
+  // Worker re-entry: runProcessSweep spawned us with stdin/stdout as the
+  // frame channel. No banner, no reports — stdout belongs to the protocol.
+  if (args.worker) return runSweepWorker(0, 1);
 
   std::string deckText;
   if (!args.deckPath.empty()) {

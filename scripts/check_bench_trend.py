@@ -49,8 +49,11 @@ import json
 import sys
 
 # The benchmarks that guard the product's hot paths: transient stepping,
-# multi-RHS sensitivity, sparse refactorization, shooting PSS, and the
-# end-to-end BJT op-amp deck (bench_bjt_opamp, gated in its own CI step).
+# multi-RHS sensitivity, sparse refactorization, shooting PSS, the
+# end-to-end BJT op-amp deck (bench_bjt_opamp, gated in its own CI step),
+# and the parallel-runtime fan-outs (bench_runtime, gated in its own CI
+# step with --anchor BM_SweepScaling/8/1 — each suite normalizes by an
+# anchor measured in the SAME binary, so suites never cross-contaminate).
 HOT_PREFIXES = (
     "BM_TransientStep",
     "BM_TranSens",
@@ -58,6 +61,10 @@ HOT_PREFIXES = (
     "BM_SparseLuSolveMulti",
     "BM_PssShooting",
     "BM_BjtOpAmp",
+    "BM_SweepScaling",
+    "BM_SweepProcs",
+    "BM_SensitivityParallel",
+    "BM_MonodromyParallel",
 )
 ANCHOR = "BM_DenseLuFactor/64"
 
@@ -114,14 +121,14 @@ def check_counter(cur_path, base_path, counter, threshold):
     return failures
 
 
-def diff_against_previous(current, prev_path):
+def diff_against_previous(current, prev_path, anchor):
     """Informational normalized diff against the previous run's artifact."""
     try:
         prev = load(prev_path)
     except (OSError, ValueError, KeyError) as e:
         print(f"trend history: no usable previous artifact ({e}); skipping")
         return
-    if ANCHOR not in prev or ANCHOR not in current:
+    if anchor not in prev or anchor not in current:
         print("trend history: anchor missing from previous run; skipping")
         return
     common = sorted(set(prev) & set(current))
@@ -131,7 +138,7 @@ def diff_against_previous(current, prev_path):
     print(f"\ntrend vs previous run ({len(common)} benchmarks, normalized, "
           "informational):")
     for name in common:
-        ratio = (current[name] / current[ANCHOR]) / (prev[name] / prev[ANCHOR])
+        ratio = (current[name] / current[anchor]) / (prev[name] / prev[anchor])
         marker = "+" if ratio > 1.05 else ("-" if ratio < 0.95 else " ")
         print(f"  {marker} {name:<44} {ratio:5.2f}x previous")
 
@@ -150,19 +157,24 @@ def main():
     ap.add_argument("--prev", default=None,
                     help="previous CI run's bench JSON (informational "
                          "per-PR trend history; missing file is skipped)")
+    ap.add_argument("--anchor", default=ANCHOR,
+                    help="normalization anchor benchmark; must exist in the "
+                         "same binary's output (default: %(default)s for "
+                         "bench_kernels; bench_runtime uses "
+                         "BM_SweepScaling/8/1)")
     args = ap.parse_args()
 
     current = load(args.current)
     baseline = load(args.baseline)
     for name, table in (("current", current), ("baseline", baseline)):
-        if ANCHOR not in table:
-            print(f"error: anchor {ANCHOR} missing from {name} run",
+        if args.anchor not in table:
+            print(f"error: anchor {args.anchor} missing from {name} run",
                   file=sys.stderr)
             return 2
 
-    cur_anchor = current[ANCHOR]
-    base_anchor = baseline[ANCHOR]
-    print(f"anchor {ANCHOR}: current {cur_anchor:.0f} ns, "
+    cur_anchor = current[args.anchor]
+    base_anchor = baseline[args.anchor]
+    print(f"anchor {args.anchor}: current {cur_anchor:.0f} ns, "
           f"baseline {base_anchor:.0f} ns")
 
     failures = []
@@ -187,7 +199,7 @@ def main():
                                           counter, args.counter_threshold)
 
     if args.prev:
-        diff_against_previous(current, args.prev)
+        diff_against_previous(current, args.prev, args.anchor)
 
     if failures or counter_failures:
         if failures:

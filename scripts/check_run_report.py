@@ -75,6 +75,12 @@ def check_metrics(path, errors):
     if not is_uint(doc.get("jobs", -1)) or doc.get("jobs") == 0:
         errors.append(f"metrics: jobs {doc.get('jobs')!r} is not a "
                       "positive integer")
+    # "procs" arrived with the multi-process sweep (--procs); reports from
+    # older binaries omit it, so it is optional — but when present it must
+    # be a positive integer like jobs.
+    if "procs" in doc and (not is_uint(doc["procs"]) or doc["procs"] == 0):
+        errors.append(f"metrics: procs {doc['procs']!r} is not a "
+                      "positive integer")
 
     counters = doc.get("counters", {})
     if isinstance(counters, dict):

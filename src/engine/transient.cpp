@@ -236,9 +236,16 @@ namespace {
 
 TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
                              const TranOptions& opt) {
+  TransientWorkspace ws;
+  return runTransient(sys, t0, t1, dt, opt, ws);
+}
+
+TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
+                             const TranOptions& opt, TransientWorkspace& ws) {
   PSMN_CHECK(t1 > t0 && dt > 0.0, "bad transient window");
   TraceSpan span(Phase::kTransient, "transient");
   const size_t n = sys.size();
+  const SolveStats statsBefore = ws.stats;
   TransientResult result;
 
   // Initial state: DC operating point unless an explicit state is given.
@@ -283,10 +290,10 @@ TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
   const Real dtMin = opt.dtMin > 0.0 ? opt.dtMin : dt * 1e-6;
   const Real dtMax = opt.dtMax > 0.0 ? opt.dtMax : dt * 4.0;
 
-  // Per-run workspace: sparsity pattern, symbolic factorization, and step
-  // scratch persist across every step below. The save buffers are swapped
-  // (never moved-from) so the steady-state loop does not allocate.
-  TransientWorkspace ws;
+  // The workspace (caller-owned or the wrapper's throwaway) carries the
+  // sparsity pattern, symbolic factorization, and step scratch across
+  // every step below. The save buffers are swapped (never moved-from) so
+  // the steady-state loop does not allocate.
   RealVector qSave, xSave, qdSave;
 
   Real t = t0;
@@ -366,7 +373,7 @@ TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
     havePrev = false;
   }
 
-  result.stats = ws.stats;
+  result.stats = SolveStats::since(statsBefore, ws.stats);
   result.finalState = std::move(x);
   return result;
 }

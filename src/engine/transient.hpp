@@ -116,6 +116,22 @@ struct TransientWorkspace {
     chosen = true;
   }
 
+  /// Prepares a long-lived workspace for a fresh run over new device
+  /// values (the process-sweep workers reuse one workspace across their
+  /// whole shard). Invalidates the cached pivot sequence so the run's
+  /// first factorization is a full SparseLU::factor — refactor() reuses
+  /// pivots chosen for a DIFFERENT matrix's values, which rounds
+  /// differently than a fresh factor and would break the bit-identity of
+  /// cached-context runs against fresh-workspace runs. What survives the
+  /// reset is exactly the value-independent state: buffer capacities, the
+  /// cached sparsity patterns, and the merged-pattern scatter maps.
+  void resetForNewValues() {
+    sluSymbolic = false;
+    haveFailure = false;
+    lastFailureNonFinite = false;
+    acceptedA = 0.0;
+  }
+
   /// Solves J y = b in place against the accepted-step factorization.
   void solveAcceptedInPlace(std::span<Real> b, size_t nrhs = 1) const {
     if (sparse) slu.solveManyInPlace(b, nrhs);
@@ -145,6 +161,16 @@ struct TransientResult {
 
 TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
                              const TranOptions& opt = {});
+
+/// Variant running against a caller-owned workspace so repeated runs over
+/// the same system reuse the pattern caches, scatter maps, and buffer
+/// allocations (the process-sweep workers' shard cache). The caller must
+/// call ws.resetForNewValues() between runs whose device values changed;
+/// results and SolveStats are then bit-identical to the fresh-workspace
+/// overload. result.stats reports this run's deltas, not the workspace's
+/// cumulative counters.
+TransientResult runTransient(const MnaSystem& sys, Real t0, Real t1, Real dt,
+                             const TranOptions& opt, TransientWorkspace& ws);
 
 /// Single integration step from (x0,q0,qd0,t) to t+h; updates all three.
 /// `beStep` forces backward Euler (first step, post-breakpoint). Returns

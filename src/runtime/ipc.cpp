@@ -1,0 +1,221 @@
+#include "runtime/ipc.hpp"
+
+#include <fcntl.h>
+#include <spawn.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "util/fault_injection.hpp"
+#include "util/status.hpp"
+#include "util/wire.hpp"
+
+extern char** environ;
+
+namespace psmn {
+namespace {
+
+constexpr size_t kHeaderSize = 24;  // magic + type + length + checksum
+
+void putLe32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(char((v >> (8 * i)) & 0xff));
+}
+void putLe64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(char((v >> (8 * i)) & 0xff));
+}
+uint32_t getLe32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= uint32_t(uint8_t(p[i])) << (8 * i);
+  return v;
+}
+uint64_t getLe64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= uint64_t(uint8_t(p[i])) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+uint64_t ipcChecksum(std::string_view payload) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : payload) {
+    h ^= uint8_t(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string buildFrame(uint32_t type, std::string_view payload,
+                       bool forceCorrupt) {
+  uint64_t checksum = ipcChecksum(payload);
+  if (faultShouldFire("ipc.frame") || forceCorrupt) checksum ^= 0xbadull;
+  std::string frame;
+  frame.reserve(kHeaderSize + payload.size());
+  putLe32(frame, kIpcMagic);
+  putLe32(frame, type);
+  putLe64(frame, payload.size());
+  putLe64(frame, checksum);
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+FrameParser::Status FrameParser::next(uint32_t& type, std::string& payload) {
+  if (corrupt_) return Status::kCorrupt;
+  if (buf_.size() < kHeaderSize) return Status::kNeedMore;
+  const char* p = buf_.data();
+  if (getLe32(p) != kIpcMagic) {
+    corrupt_ = true;
+    return Status::kCorrupt;
+  }
+  const uint64_t length = getLe64(p + 8);
+  if (length > kIpcMaxPayload) {
+    corrupt_ = true;
+    return Status::kCorrupt;
+  }
+  if (buf_.size() < kHeaderSize + length) return Status::kNeedMore;
+  const uint64_t checksum = getLe64(p + 16);
+  type = getLe32(p + 4);
+  payload.assign(buf_, kHeaderSize, length);
+  buf_.erase(0, kHeaderSize + length);
+  if (ipcChecksum(payload) != checksum) {
+    corrupt_ = true;
+    return Status::kCorrupt;
+  }
+  return Status::kFrame;
+}
+
+bool readFrameBlocking(int fd, FrameParser& parser, uint32_t& type,
+                       std::string& payload) {
+  char buf[65536];
+  for (;;) {
+    switch (parser.next(type, payload)) {
+      case FrameParser::Status::kFrame:
+        return true;
+      case FrameParser::Status::kCorrupt:
+        throw Error("ipc: corrupt inbound frame");
+      case FrameParser::Status::kNeedMore:
+        break;
+    }
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n > 0) {
+      parser.feed(buf, size_t(n));
+      continue;
+    }
+    if (n == 0) {
+      PSMN_CHECK(parser.buffered() == 0, "ipc: EOF inside a frame");
+      return false;
+    }
+    if (errno == EINTR) continue;
+    throw Error(std::string("ipc: read failed: ") + std::strerror(errno));
+  }
+}
+
+bool writeFrameBlocking(int fd, uint32_t type, std::string_view payload,
+                        bool forceCorrupt) {
+  const std::string frame = buildFrame(type, payload, forceCorrupt);
+  size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += size_t(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) return false;
+    throw Error(std::string("ipc: write failed: ") + std::strerror(errno));
+  }
+  return true;
+}
+
+ChildProcess spawnWorkerProcess(const std::string& exe,
+                                const std::vector<std::string>& args) {
+  // SOCK_CLOEXEC keeps previously-spawned workers' parent-side fds from
+  // leaking into this child (a leaked parent end would hold a sibling's
+  // connection open past its death). dup2 below clears the flag on the
+  // child's 0/1, so the child's own channel survives the exec.
+  int sv[2];
+  PSMN_CHECK(::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) == 0,
+             std::string("ipc: socketpair failed: ") + std::strerror(errno));
+  const int parentFd = sv[0];
+  const int childFd = sv[1];
+
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_init(&actions);
+  posix_spawn_file_actions_adddup2(&actions, childFd, 0);
+  posix_spawn_file_actions_adddup2(&actions, childFd, 1);
+  posix_spawn_file_actions_addclose(&actions, childFd);
+  posix_spawn_file_actions_addclose(&actions, parentFd);
+
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(exe.c_str()));
+  for (const auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+
+  pid_t pid = -1;
+  const int rc =
+      ::posix_spawn(&pid, exe.c_str(), &actions, nullptr, argv.data(), environ);
+  posix_spawn_file_actions_destroy(&actions);
+  ::close(childFd);
+  if (rc != 0) {
+    ::close(parentFd);
+    throw Error("ipc: cannot spawn worker '" + exe +
+                "': " + std::strerror(rc));
+  }
+  const int flags = ::fcntl(parentFd, F_GETFL, 0);
+  ::fcntl(parentFd, F_SETFL, flags | O_NONBLOCK);
+  return ChildProcess{pid, parentFd};
+}
+
+int killAndReapChild(pid_t pid) {
+  if (pid <= 0) return -1;
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &status, 0);
+    if (r == pid) return status;
+    if (r < 0 && errno == EINTR) continue;
+    return -1;
+  }
+}
+
+int reapChild(pid_t pid, int graceMs) {
+  if (pid <= 0) return -1;
+  // Poll for a voluntary exit; a worker that ignores shutdown is killed.
+  for (int waited = 0; waited <= graceMs; waited += 5) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) return status;
+    if (r < 0 && errno != EINTR) break;
+    ::usleep(5000);
+  }
+  return killAndReapChild(pid);
+}
+
+std::string describeWaitStatus(int status) {
+  if (status < 0) return "unknown exit";
+  if (WIFEXITED(status)) {
+    return "exit code " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    std::string s = "signal " + std::to_string(sig);
+    if (const char* name = ::strsignal(sig)) s += std::string(" (") + name + ")";
+    return s;
+  }
+  return "status " + std::to_string(status);
+}
+
+std::string selfExecutablePath() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  PSMN_CHECK(n > 0, "ipc: cannot resolve /proc/self/exe");
+  return std::string(buf, size_t(n));
+}
+
+}  // namespace psmn

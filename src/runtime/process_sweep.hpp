@@ -1,0 +1,118 @@
+// Multi-process scenario sweep: rung (a) of the distributed sweep
+// service (ROADMAP "Distributed sweep service"). Shards a scenario list
+// across N worker PROCESSES — each a re-entry of the calling binary with
+// `--worker` — ships serialized scenario specs over crash-tolerant framed
+// sockets (runtime/ipc.hpp), and merges the streamed results back in
+// input order.
+//
+// Why a process boundary when the ThreadPool already scales: address-space
+// isolation (a worker segfault, OOM kill, or injected crash costs a
+// bounded per-scenario retry, never the sweep), and the serialization
+// contract this forces is exactly rung (b)'s network protocol.
+//
+// Determinism contract (docs/architecture.md "Distributed sweep"): a
+// scenario's results, SolveStats, and captured registry counters are a
+// pure function of the scenario spec — workers rebuild each scenario's
+// device values from its (seed, sampleIndex) draw, and the shard cache
+// reuses only value-independent state (parsed deck, MNA stamping pattern,
+// workspace allocations; TransientWorkspace::resetForNewValues forces a
+// full first factorization per scenario). Sharding is a fixed contiguous
+// block partition and results merge by global index, so a sweep's output
+// is BYTE-identical across every jobs × procs topology, including runs
+// where crashes force retries.
+//
+// Failure model: a worker death (crash, injected "worker.exit" SIGKILL,
+// corrupt frame, inactivity timeout) strikes ONE outstanding scenario —
+// the first unacknowledged one, the only one whose processing the parent
+// cannot rule out as the cause — and the worker is respawned with all
+// outstanding scenarios resent UNCHANGED. Infrastructure retries must not
+// tighten the numerical options, or a crash would change results;
+// in-worker numerical failures keep the existing SweepRetryPolicy
+// escalation ladder, applied inside the worker by runScenarioSweep. A
+// scenario struck past its retry budget becomes a failed SweepResult with
+// a "process-sweep" FailureDiagnostics — failures are data here too.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/scenario_sweep.hpp"
+
+namespace psmn {
+
+class TelemetryRegistry;
+
+/// Serializable scenario specification — the subset of SweepScenario a
+/// process boundary can carry (no std::function factories: workers
+/// rebuild the netlist from the deck text + the mismatch draw). Supported
+/// analyses: kTransient and kTransientSensitivity.
+struct ProcessScenario {
+  std::string name;
+  /// Index into the deck-text table passed to runProcessSweep. Workers
+  /// cache parse + MNA pattern + workspace per (slot, deck).
+  size_t deckIndex = 0;
+  SweepAnalysis analysis = SweepAnalysis::kTransient;
+  std::string outNode;
+  Real t0 = 0.0, t1 = 0.0, dt = 0.0;
+  /// Engine options (initialState/pool do not serialize and stay unset).
+  TranOptions tran;
+  /// Mismatch draw: when `applyMismatch` is set the worker applies
+  /// applyMismatchSample(seed, sampleIndex) — the MC engine's stream, so
+  /// scenario k reproduces MC sample k bit-exactly.
+  bool applyMismatch = false;
+  uint64_t seed = 1;
+  uint64_t sampleIndex = 0;
+  /// In-worker numerical retry ladder AND the parent-side budget for
+  /// infrastructure (crash/timeout/corruption) retries.
+  SweepRetryPolicy retry;
+  /// Numerical fault plan, armed around the scenario's attempts inside
+  /// the worker (tests).
+  FaultPlan faults;
+};
+
+struct ProcessSweepOptions {
+  /// Worker process count (capped at the scenario count; >= 1).
+  size_t procs = 1;
+  /// ThreadPool jobs inside each worker.
+  size_t jobsPerWorker = 1;
+  /// Worker binary, exec'd with `--worker` appended; empty selects the
+  /// calling binary itself (/proc/self/exe) — netlist_runner's re-entry.
+  std::string workerExe;
+  /// Extra argv before --worker (none needed for the standard re-entry).
+  std::vector<std::string> workerArgs;
+  /// Per-worker inactivity timeout in seconds while results are
+  /// outstanding; 0 disables. Expiry is treated as a worker failure
+  /// (kill, strike, respawn).
+  double inactivityTimeout = 0.0;
+  /// Consecutive spawns of one worker slot that die without delivering a
+  /// single result before the parent stops respawning it and fails its
+  /// remaining scenarios — the broken-binary fast path that keeps a
+  /// misconfigured workerExe from burning the whole n*(retries+1) budget.
+  int maxSpawnsWithoutProgress = 3;
+  /// Process-wide fault plan shipped in the hello frame and checked by
+  /// the worker at its result writes ("worker.exit", "ipc.frame" — see
+  /// util/fault_injection.hpp on why these are not FaultScope-armed).
+  FaultPlan workerFaults;
+};
+
+/// Runs the scenarios across worker processes and returns results in
+/// input order. `decks` is the table ProcessScenario::deckIndex points
+/// into; only decks a worker's shard references are shipped to it. When
+/// `registry` is non-null every result's captured counters are folded in
+/// (addExternalCounters) from the calling thread, keeping registry totals
+/// equal to an in-process run's. `onProgress` fires per completed
+/// scenario in completion order, like runScenarioSweep's.
+std::vector<SweepResult> runProcessSweep(
+    std::span<const std::string> decks,
+    std::span<const ProcessScenario> scenarios, const ProcessSweepOptions& opt,
+    TelemetryRegistry* registry = nullptr,
+    const SweepProgressFn& onProgress = nullptr);
+
+/// The worker side: speaks the protocol on (inFd, outFd) until shutdown
+/// or EOF. `netlist_runner --worker` calls this on (0, 1) — stdout
+/// carries frames, so worker code must never printf. Returns the process
+/// exit code.
+int runSweepWorker(int inFd, int outFd);
+
+}  // namespace psmn

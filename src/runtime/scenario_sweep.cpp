@@ -11,11 +11,37 @@ namespace psmn {
 namespace {
 
 void runOneScenario(const SweepScenario& sc, SweepResult& out) {
-  PSMN_CHECK(sc.make != nullptr, "scenario has no netlist factory");
-  std::unique_ptr<Netlist> nl = sc.make();
-  PSMN_CHECK(nl != nullptr, "scenario factory returned null");
-  nl->finalize();
-  MnaSystem sys(*nl);
+  // The private fresh stack (`make`) or the borrowed slot-confined cached
+  // one (`acquire`); the acquire path resets the workspace so the two are
+  // bit-identical (tests/test_runtime.cpp pins this across topologies).
+  std::unique_ptr<Netlist> owned;
+  TransientWorkspace localWs;
+  Netlist* nl = nullptr;
+  MnaSystem* sysPtr = nullptr;
+  std::unique_ptr<MnaSystem> ownedSys;
+  TransientWorkspace* ws = &localWs;
+  if (sc.acquire) {
+    PSMN_CHECK(sc.analysis == SweepAnalysis::kTransient ||
+                   sc.analysis == SweepAnalysis::kTransientSensitivity,
+               "acquire-path scenarios support transient analyses only");
+    ScenarioContext* ctx = sc.acquire();
+    PSMN_CHECK(ctx != nullptr && ctx->netlist != nullptr &&
+                   ctx->sys != nullptr,
+               "scenario acquire returned an incomplete context");
+    nl = ctx->netlist.get();
+    sysPtr = ctx->sys.get();
+    ws = &ctx->tran;
+    ws->resetForNewValues();
+  } else {
+    PSMN_CHECK(sc.make != nullptr, "scenario has no netlist factory");
+    owned = sc.make();
+    PSMN_CHECK(owned != nullptr, "scenario factory returned null");
+    owned->finalize();
+    nl = owned.get();
+    ownedSys = std::make_unique<MnaSystem>(*nl);
+    sysPtr = ownedSys.get();
+  }
+  MnaSystem& sys = *sysPtr;
 
   int outIdx = -1;
   if (sc.analysis != SweepAnalysis::kMcBatch) {
@@ -27,7 +53,7 @@ void runOneScenario(const SweepScenario& sc, SweepResult& out) {
   switch (sc.analysis) {
     case SweepAnalysis::kTransient: {
       const TransientResult tr =
-          runTransient(sys, sc.t0, sc.t1, sc.dt, sc.tran);
+          runTransient(sys, sc.t0, sc.t1, sc.dt, sc.tran, *ws);
       out.times = tr.times;
       out.waveform = tr.waveform(outIdx);
       out.finalState = tr.finalState;
@@ -101,7 +127,7 @@ void resetAttemptOutputs(SweepResult& out) {
 
 std::vector<SweepResult> runScenarioSweep(
     std::span<const SweepScenario> scenarios, ThreadPool& pool,
-    const SweepProgressFn& onProgress) {
+    const SweepProgressFn& onProgress, bool captureCounters) {
   std::vector<SweepResult> results(scenarios.size());
   std::mutex progressMutex;
   // Chunk of 1: scenarios are coarse units of work, and slot order must
@@ -111,6 +137,16 @@ std::vector<SweepResult> runScenarioSweep(
       SweepResult& out = results[i];
       out.index = i;
       out.name = scenarios[i].name;
+      // Capture mode: a scenario-local registry shadows whatever binding
+      // the pool installed, so every probe of this scenario's attempts —
+      // all on this thread — lands in the local slot and travels with the
+      // result instead of dying with the process.
+      std::optional<TelemetryRegistry> localReg;
+      std::optional<TelemetryScope> localScope;
+      if (captureCounters) {
+        localReg.emplace(1);
+        localScope.emplace(*localReg, 0);
+      }
       TraceSpan span(Phase::kScenario, "scenario", scenarios[i].name);
       telemetryCount(Counter::kScenariosRun);
       // Armed faults live for all of this scenario's attempts: the scope's
@@ -147,6 +183,10 @@ std::vector<SweepResult> runScenarioSweep(
           telemetryCount(Counter::kScenarioRetries);
           tightenScenario(attempt, /*finalAttempt=*/a + 2 == maxAttempts);
         }
+      }
+      if (captureCounters) {
+        out.hasCounters = true;
+        out.counters = localReg->totals().counters;
       }
       if (onProgress) {
         std::lock_guard<std::mutex> lock(progressMutex);

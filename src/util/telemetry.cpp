@@ -69,6 +69,13 @@ uint64_t TelemetryRegistry::counterTotal(Counter c) const {
   return total;
 }
 
+void TelemetryRegistry::addExternalCounters(
+    const std::array<uint64_t, kNumCounters>& deltas) {
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    slots_[0].counters[i] += deltas[i];
+  }
+}
+
 std::vector<TraceEvent> TelemetryRegistry::events() const {
   std::vector<TraceEvent> out;
   size_t n = 0;

@@ -201,6 +201,16 @@ class TelemetryRegistry {
   Totals totals() const;
   uint64_t counterTotal(Counter c) const;
 
+  /// Folds counter deltas produced OUTSIDE this registry — a sweep
+  /// worker's per-scenario captures shipped over the process-sweep pipe —
+  /// into slot 0. Caller contract matches TelemetryScope's: at most one
+  /// thread touches slot 0 at a time (the process-sweep coordinator calls
+  /// this from the merging thread only). Determinism is preserved because
+  /// the deltas are themselves deterministic per-scenario sums and
+  /// counter addition is commutative — the merged totals match what an
+  /// in-process run of the same scenarios would have recorded.
+  void addExternalCounters(const std::array<uint64_t, kNumCounters>& deltas);
+
   /// All recorded events, merged in slot order (then per-slot record
   /// order, which is the completion order on that slot).
   std::vector<TraceEvent> events() const;

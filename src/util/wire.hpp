@@ -1,0 +1,133 @@
+// Binary wire serialization for the multi-process sweep IPC.
+//
+// WireWriter/WireReader are append/consume cursors over a byte buffer with
+// fixed-width primitives. Doubles travel as their raw 8-byte object
+// representation (std::bit_cast to uint64_t), so a Real round-trips
+// BIT-IDENTICALLY — the cross-topology byte-identity guarantee of the
+// process sweep (docs/architecture.md "Distributed sweep") depends on the
+// serialization never touching a value's bits. Integers use fixed-width
+// little-endian encoding; both ends of the pipe run on the same host, and
+// the frame layer (runtime/ipc.hpp) rejects cross-version traffic, so no
+// cross-architecture concerns apply.
+//
+// Alongside the primitives this header carries the wire codecs for the
+// util-layer value types the worker protocol ships: SolveStats,
+// FailureDiagnostics, and FaultPlan. Higher-layer types (scenario specs,
+// sweep results) serialize in runtime/process_sweep.cpp on top of these.
+//
+// WireReader throws Error("wire: ...") on truncation or malformed data —
+// the process-sweep coordinator treats that exactly like a corrupt frame
+// (kill + respawn + per-scenario retry), never trusting a peer's bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "numeric/types.hpp"
+#include "util/fault_injection.hpp"
+#include "util/status.hpp"
+#include "util/telemetry.hpp"
+
+namespace psmn {
+
+class WireWriter {
+ public:
+  const std::string& bytes() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+  void u8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(uint32_t v) { appendLe(v, 4); }
+  void u64(uint64_t v) { appendLe(v, 8); }
+  void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  /// Raw object representation: the value round-trips bit-exactly,
+  /// including NaN payloads and signed zeros.
+  void f64(double v);
+  void str(std::string_view s) {
+    u64(s.size());
+    out_.append(s.data(), s.size());
+  }
+  void f64vec(std::span<const double> v) {
+    u64(v.size());
+    for (double x : v) f64(x);
+  }
+  void u64vec(std::span<const uint64_t> v) {
+    u64(v.size());
+    for (uint64_t x : v) u64(x);
+  }
+  void strvec(const std::vector<std::string>& v) {
+    u64(v.size());
+    for (const auto& s : v) str(s);
+  }
+
+ private:
+  void appendLe(uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  std::string out_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::string_view bytes) : bytes_(bytes) {}
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool atEnd() const { return pos_ == bytes_.size(); }
+
+  uint8_t u8() { return static_cast<uint8_t>(take(1)[0]); }
+  uint32_t u32() { return static_cast<uint32_t>(readLe(4)); }
+  uint64_t u64() { return readLe(8); }
+  int32_t i32() { return static_cast<int32_t>(u32()); }
+  bool boolean() { return u8() != 0; }
+  double f64();
+  std::string str() {
+    const uint64_t n = len();
+    const std::string_view s = take(n);
+    return std::string(s);
+  }
+  RealVector f64vec() {
+    const uint64_t n = len();
+    RealVector v(n);
+    for (auto& x : v) x = f64();
+    return v;
+  }
+  std::vector<uint64_t> u64vec() {
+    const uint64_t n = len();
+    std::vector<uint64_t> v(n);
+    for (auto& x : v) x = u64();
+    return v;
+  }
+  std::vector<std::string> strvec() {
+    const uint64_t n = len();
+    std::vector<std::string> v(n);
+    for (auto& s : v) s = str();
+    return v;
+  }
+
+ private:
+  std::string_view take(size_t n);
+  uint64_t readLe(int bytes);
+  /// Length prefix, sanity-bounded by the bytes actually present so a
+  /// corrupt length cannot drive a huge allocation.
+  uint64_t len();
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+// Codecs for the util-layer types the worker protocol ships.
+void wireWrite(WireWriter& w, const SolveStats& s);
+void wireRead(WireReader& r, SolveStats& s);
+
+void wireWrite(WireWriter& w, const FailureDiagnostics& d);
+void wireRead(WireReader& r, FailureDiagnostics& d);
+
+void wireWrite(WireWriter& w, const FaultPlan& p);
+void wireRead(WireReader& r, FaultPlan& p);
+
+}  // namespace psmn

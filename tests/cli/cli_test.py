@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""CLI integration tests for the built netlist_runner binary.
+
+Each CTest `cli_<case>` invocation runs ONE case from this file against
+the real executable: card-mode runs, in-process and multi-process sweeps,
+run-report generation (validated with scripts/check_run_report.py's own
+checkers, so the CLI tier and CI enforce the identical schema), and the
+bad-input exit codes scripted flows depend on.
+
+Usage: cli_test.py --runner <netlist_runner> --repo <repo root> <case>
+"""
+
+import argparse
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+DECK = "examples/decks/bjt_diffamp.sp"
+SWEEP = ["--sweep", "mc:4", "--jobs", "1", "--seed", "1", "--probe", "out"]
+
+
+def load_report_checker(repo):
+    path = os.path.join(repo, "scripts", "check_run_report.py")
+    spec = importlib.util.spec_from_file_location("check_run_report", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class Cli:
+    def __init__(self, runner, repo, tmp):
+        self.runner = runner
+        self.repo = repo
+        self.tmp = tmp
+        self.checker = load_report_checker(repo)
+
+    def run(self, *args):
+        return subprocess.run([self.runner] + list(args), cwd=self.tmp,
+                              capture_output=True, text=True, timeout=480)
+
+    def deck(self):
+        return os.path.join(self.repo, DECK)
+
+    def check_report(self, metrics=None, trace=None):
+        errors = []
+        if metrics is not None:
+            self.checker.check_metrics(metrics, errors)
+        if trace is not None:
+            self.checker.check_trace(trace, errors)
+        assert not errors, "\n".join(errors)
+
+
+def expect(cond, what, proc):
+    assert cond, (f"{what}\nexit={proc.returncode}\n"
+                  f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+
+
+def sweep_lines(stdout):
+    """The per-scenario `mc<k> v(out) = ...` lines plus the summary."""
+    return [ln.strip() for ln in stdout.splitlines()
+            if "v(out) = " in ln or ln.startswith("summary:")]
+
+
+# ---------------------------------------------------------------- cases
+
+def case_card_demo(cli):
+    """No arguments: the built-in demo deck runs its cards and exits 0."""
+    p = cli.run()
+    expect(p.returncode == 0, "demo run failed", p)
+    expect("built-in demo" in p.stdout, "missing demo banner", p)
+    expect("title:" in p.stdout, "missing title line", p)
+
+
+def case_card_deck(cli):
+    """Card mode over a real deck, with a validated metrics report."""
+    metrics = os.path.join(cli.tmp, "metrics.json")
+    p = cli.run(cli.deck(), "--metrics", metrics)
+    expect(p.returncode == 0, "card run failed", p)
+    expect("title: bjt differential amplifier" in p.stdout,
+           "deck title missing", p)
+    cli.check_report(metrics=metrics)
+    doc = json.load(open(metrics))
+    expect(doc["procs"] == 1, "card mode must report procs=1", p)
+    expect(doc["analyses"], "card mode must record analyses", p)
+
+
+def case_sweep_mc(cli):
+    """In-process seeded sweep: report schema + per-scenario accounting."""
+    metrics = os.path.join(cli.tmp, "metrics.json")
+    p = cli.run(cli.deck(), *SWEEP, "--metrics", metrics)
+    expect(p.returncode == 0, "sweep failed", p)
+    cli.check_report(metrics=metrics)
+    doc = json.load(open(metrics))
+    sweep = doc["sweep"]
+    expect(sweep["scenarios"] == 4, "expected 4 scenarios", p)
+    expect(sweep["failed"] == 0, "unexpected scenario failures", p)
+    expect(doc["procs"] == 1, "in-process sweep must report procs=1", p)
+    expect(len(sweep_lines(p.stdout)) == 5, "expected 4 results + summary", p)
+
+
+def case_sweep_procs(cli):
+    """Multi-process sweep smoke: same schema, procs field recorded."""
+    metrics = os.path.join(cli.tmp, "metrics.json")
+    p = cli.run(cli.deck(), *SWEEP, "--procs", "2", "--metrics", metrics)
+    expect(p.returncode == 0, "multi-process sweep failed", p)
+    expect("2 proc(s)" in p.stdout, "banner must name the topology", p)
+    cli.check_report(metrics=metrics)
+    doc = json.load(open(metrics))
+    expect(doc["procs"] == 2, "metrics must record --procs", p)
+    expect(doc["sweep"]["failed"] == 0, "unexpected scenario failures", p)
+    expect(all(sc["ok"] for sc in doc["sweep"]["per_scenario"]),
+           "every scenario must succeed", p)
+
+
+def case_sweep_trace(cli):
+    """Sweep with both report files; the trace must validate too."""
+    metrics = os.path.join(cli.tmp, "metrics.json")
+    trace = os.path.join(cli.tmp, "trace.json")
+    p = cli.run(cli.deck(), "--sweep", "mc:2", "--jobs", "1", "--probe",
+                "out", "--metrics", metrics, "--trace", trace)
+    expect(p.returncode == 0, "traced sweep failed", p)
+    cli.check_report(metrics=metrics, trace=trace)
+
+
+def case_sweep_procs_identity(cli):
+    """The determinism contract at the CLI surface: identical per-scenario
+    values, stats, and merged counters for procs=1 vs procs=2."""
+    out = {}
+    for procs in (1, 2):
+        metrics = os.path.join(cli.tmp, f"metrics{procs}.json")
+        p = cli.run(cli.deck(), *SWEEP, "--procs", str(procs),
+                    "--metrics", metrics)
+        expect(p.returncode == 0, f"procs={procs} sweep failed", p)
+        cli.check_report(metrics=metrics)
+        out[procs] = (json.load(open(metrics)), sweep_lines(p.stdout))
+    m1, lines1 = out[1]
+    m2, lines2 = out[2]
+    assert lines1 == lines2, (
+        f"printed sweep values differ:\n{lines1}\nvs\n{lines2}")
+    for key in ("sweep", "counters", "solve_stats"):
+        assert m1.get(key) == m2.get(key), (
+            f"metrics '{key}' differs between procs=1 and procs=2:\n"
+            f"{m1.get(key)}\nvs\n{m2.get(key)}")
+
+
+def case_bad_inputs(cli):
+    """Exit codes and one-line causes scripted flows rely on."""
+    p = cli.run("/nonexistent/deck.sp")
+    expect(p.returncode == 1 and "cannot open" in p.stderr,
+           "missing deck must exit 1 with 'cannot open'", p)
+
+    bad = os.path.join(cli.tmp, "bad.sp")
+    with open(bad, "w") as f:
+        f.write("* malformed deck\nr1 a\n")
+    p = cli.run(bad)
+    expect(p.returncode == 1 and "error:" in p.stderr,
+           "malformed deck must exit 1 with a parse error", p)
+
+    p = cli.run(cli.deck(), "--frobnicate")
+    expect(p.returncode == 1 and "unknown flag" in p.stderr,
+           "unknown flag must exit 1", p)
+
+    p = cli.run(cli.deck(), "--sweep", "xyz")
+    expect(p.returncode == 1 and "--sweep expects mc:<N>" in p.stderr,
+           "bad sweep spec must exit 1", p)
+
+    p = cli.run(cli.deck(), "--sweep", "mc:2")
+    expect(p.returncode == 1 and "--probe" in p.stderr,
+           "sweep without probe must exit 1", p)
+
+    p = cli.run(cli.deck(), "--sweep", "mc:2", "--probe", "no_such_node")
+    expect(p.returncode == 1 and "probe node" in p.stderr,
+           "unknown probe node must exit 1", p)
+
+    p = cli.run(cli.deck(), "--procs", "0")
+    expect(p.returncode == 1 and "--procs" in p.stderr,
+           "--procs 0 must exit 1", p)
+
+
+CASES = {
+    "card_demo": case_card_demo,
+    "card_deck": case_card_deck,
+    "sweep_mc": case_sweep_mc,
+    "sweep_procs": case_sweep_procs,
+    "sweep_trace": case_sweep_trace,
+    "sweep_procs_identity": case_sweep_procs_identity,
+    "bad_inputs": case_bad_inputs,
+}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--runner", required=True,
+                    help="path to the built netlist_runner")
+    ap.add_argument("--repo", required=True, help="repository root")
+    ap.add_argument("case", choices=sorted(CASES))
+    args = ap.parse_args()
+    with tempfile.TemporaryDirectory(prefix="psmn_cli_") as tmp:
+        CASES[args.case](Cli(args.runner, args.repo, tmp))
+    print(f"cli case '{args.case}' OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

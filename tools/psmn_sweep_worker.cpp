@@ -1,0 +1,19 @@
+// Minimal process-sweep worker binary: the re-entry target the runtime
+// tests and benchmarks hand to ProcessSweepOptions::workerExe (they link
+// gtest/benchmark mains, so they cannot re-enter themselves the way
+// `netlist_runner --worker` does). Speaks the worker protocol on
+// stdin/stdout; anything else on the command line is rejected so a
+// mis-wired spawn fails loudly.
+#include <cstdio>
+#include <cstring>
+
+#include "runtime/process_sweep.hpp"
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--worker") == 0) {
+    return psmn::runSweepWorker(0, 1);
+  }
+  std::fprintf(stderr, "usage: %s --worker  (spawned by runProcessSweep)\n",
+               argv[0]);
+  return 2;
+}
