@@ -10,6 +10,12 @@
 // netlist, applies its seeded mismatch draw, and runs on its own slot):
 //
 //   netlist_runner deck.sp --sweep mc:64 --jobs 8 [--seed 1] [--probe out]
+//                  [--batch]
+//
+// --batch switches the in-process sweep to scenario-batched evaluation
+// (engine/batch_eval.hpp): scenarios are tiled into lanes that share one
+// netlist walk per Newton iteration. Results stay bit-identical to the
+// scalar sweep; the scalar path remains the default and the oracle.
 //
 // Results are reported in scenario order and are bit-identical for every
 // --jobs value (per-scenario RNG streams are derived from the scenario
@@ -79,6 +85,7 @@ struct RunnerArgs {
   std::string tracePath;    // --trace <file>
   TraceDetail traceDetail = TraceDetail::kPhase;  // --trace-detail
   bool progress = false;    // --progress
+  bool batch = false;       // --batch: scenario-batched sweep evaluation
 };
 
 /// What the metrics report aggregates beyond the registry totals: one
@@ -133,6 +140,8 @@ bool parseArgs(int argc, char** argv, RunnerArgs& args) {
       }
     } else if (a == "--progress") {
       args.progress = true;
+    } else if (a == "--batch") {
+      args.batch = true;
     } else if (a == "--sweep") {
       const std::string spec = value("--sweep");
       if (spec.rfind("mc:", 0) != 0) {
@@ -209,6 +218,11 @@ int runSweep(const std::string& deckText, const ParsedCircuit& pc,
   }
 
   std::vector<SweepResult> results;
+  if (args.batch && args.procs > 1) {
+    std::fprintf(stderr,
+                 "--batch applies to in-process sweeps; ignored with "
+                 "--procs > 1\n");
+  }
   if (args.procs > 1) {
     // Multi-process mode: serializable scenario specs shipped to --worker
     // re-entries of this binary; the workers rebuild sample k's netlist
@@ -240,6 +254,35 @@ int runSweep(const std::string& deckText, const ParsedCircuit& pc,
                 probe.c_str(), static_cast<unsigned long long>(args.seed));
     const std::vector<std::string> decks = {deckText};
     results = runProcessSweep(decks, scenarios, popt, &reg, onProgress);
+  } else if (args.batch) {
+    // Scenario-batched in-process sweep: same deck, window, retry policy,
+    // and (seed, k) mismatch stream as the scalar path below — batched
+    // results are bit-identical to it (docs/architecture.md "Batched
+    // evaluation").
+    const auto deck = std::make_shared<const std::string>(deckText);
+    BatchSweepSpec spec;
+    spec.make = [deck] {
+      ParsedCircuit spc = parseNetlistString(*deck);
+      return std::move(spc.netlist);
+    };
+    spec.configure = [seed = args.seed](Netlist& nl, size_t k) {
+      applyMismatchSample(nl.mismatchParams(), nullptr, seed, k);
+    };
+    spec.count = args.sweepSamples;
+    spec.outNode = probe;
+    spec.t1 = tstop;
+    spec.dt = dt;
+    spec.tran.storeStates = false;
+    spec.retry.maxRetries = 2;
+    spec.batch.enabled = true;
+    ThreadPool pool(args.jobs);
+    pool.attachTelemetry(&reg);
+    std::printf("sweep: %zu mismatch scenarios of .tran %s %s on %zu "
+                "job(s) [batched, %zu lanes], probe v(%s), seed %llu\n",
+                spec.count, formatEng(dt).c_str(), formatEng(tstop).c_str(),
+                pool.jobCount(), spec.batch.lanes, probe.c_str(),
+                static_cast<unsigned long long>(args.seed));
+    results = runScenarioSweepBatched(spec, pool, onProgress);
   } else {
     // One shared copy of the deck source: each scenario re-parses it into
     // a private netlist and applies its sample draw — applyMismatchSample

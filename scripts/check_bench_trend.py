@@ -65,6 +65,8 @@ HOT_PREFIXES = (
     "BM_SweepProcs",
     "BM_SensitivityParallel",
     "BM_MonodromyParallel",
+    "BM_BatchEval",
+    "BM_McBatched",
 )
 ANCHOR = "BM_DenseLuFactor/64"
 

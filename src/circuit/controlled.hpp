@@ -36,6 +36,7 @@ class Vcvs : public Device {
     branch_ = alloc.allocate(name());
   }
   void eval(Stamper& s) const override;
+  void evalBatch(DeviceBatchView& v) const override;
   int branchIndex() const { return branch_; }
 
  private:
@@ -61,6 +62,7 @@ class Vccs : public Device {
              {{nl.nodeIndex(cp), nl.nodeIndex(cn), gain}}) {}
 
   void eval(Stamper& s) const override;
+  void evalBatch(DeviceBatchView& v) const override;
 
  private:
   int a_, b_;
@@ -82,6 +84,7 @@ class Ccvs : public Device {
     branch_ = alloc.allocate(name());
   }
   void eval(Stamper& s) const override;
+  void evalBatch(DeviceBatchView& v) const override;
 
  private:
   int a_, b_;
@@ -102,6 +105,7 @@ class Cccs : public Device {
         gain_(gain) {}
 
   void eval(Stamper& s) const override;
+  void evalBatch(DeviceBatchView& v) const override;
 
  private:
   int a_, b_;

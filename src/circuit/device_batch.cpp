@@ -1,0 +1,72 @@
+#include "circuit/device_batch.hpp"
+
+#include "util/telemetry.hpp"
+
+namespace psmn {
+
+// Generic lane loop: replay lane deltas through the scalar eval(). This IS
+// the scalar path per lane, so bit-identity is by construction; devices on
+// hot paths override with a loop that reads lane deltas directly.
+void Device::evalBatch(DeviceBatchView& v) const {
+  Device& self = v.device();
+  const size_t nk = mismatchCount();
+  for (size_t l = 0; l < v.laneCount(); ++l) {
+    if (!v.laneActive(l)) continue;
+    for (size_t k = 0; k < nk; ++k) self.setMismatchDelta(k, v.delta(k, l));
+    eval(v.lane(l));
+  }
+}
+
+DeviceBatch::DeviceBatch(Netlist& nl, size_t lanes) : nl_(&nl), lanes_(lanes) {
+  PSMN_CHECK(nl.finalized(), "DeviceBatch requires a finalized netlist");
+  PSMN_CHECK(lanes > 0, "DeviceBatch needs at least one lane");
+  const auto& devs = nl.devices();
+  offsets_.resize(devs.size());
+  counts_.resize(devs.size());
+  size_t total = 0;
+  for (size_t d = 0; d < devs.size(); ++d) {
+    offsets_[d] = total;
+    counts_[d] = devs[d]->mismatchCount();
+    total += counts_[d] * lanes_;
+  }
+  deltas_.assign(total, 0.0);
+}
+
+void DeviceBatch::captureLane(size_t l) {
+  PSMN_CHECK(l < lanes_, "lane out of range");
+  const auto& devs = nl_->devices();
+  for (size_t d = 0; d < devs.size(); ++d) {
+    for (size_t k = 0; k < counts_[d]; ++k) {
+      deltas_[offsets_[d] + k * lanes_ + l] = devs[d]->mismatchDelta(k);
+    }
+  }
+}
+
+void DeviceBatch::applyLane(size_t l) const {
+  PSMN_CHECK(l < lanes_, "lane out of range");
+  const auto& devs = nl_->devices();
+  for (size_t d = 0; d < devs.size(); ++d) {
+    for (size_t k = 0; k < counts_[d]; ++k) {
+      devs[d]->setMismatchDelta(k, deltas_[offsets_[d] + k * lanes_ + l]);
+    }
+  }
+}
+
+void DeviceBatch::evalLanes(std::vector<Stamper>& stampers,
+                            const std::vector<unsigned char>& active) const {
+  PSMN_CHECK(stampers.size() == lanes_ && active.size() == lanes_,
+             "evalLanes: one stamper and active flag per lane");
+  DeviceBatchView v;
+  v.stampers_ = &stampers;
+  v.active_ = active.data();
+  v.lanes_ = lanes_;
+  const auto& devs = nl_->devices();
+  for (size_t d = 0; d < devs.size(); ++d) {
+    v.deltas_ = deltas_.data() + offsets_[d];
+    v.current_ = devs[d].get();
+    devs[d]->evalBatch(v);
+  }
+  telemetryCount(Counter::kBatchEvals);
+}
+
+}  // namespace psmn

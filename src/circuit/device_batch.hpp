@@ -1,0 +1,96 @@
+// Scenario-batched device evaluation: SoA mismatch-delta storage for a
+// batch of parameter "lanes" over ONE shared netlist structure.
+//
+// Statistical workloads (MC sampling, severity sweeps, gPC collocation)
+// solve N perturbations of the same circuit. The scalar path builds N
+// private netlists and walks each one per Newton iteration; the batched
+// path keeps a single netlist and stores the N parameter sets
+// column-major per device:
+//
+//     deltas_[offset(dev) + k * lanes + l]   (param k, lane l)
+//
+// so the per-device inner loop over lanes reads contiguous memory
+// (SIMD-friendly) and one structural walk stamps all lanes.
+//
+// Bit-identity contract: the batched stamps must equal the scalar stamps
+// bit for bit. Devices guarantee this by routing both paths through ONE
+// compiled evaluation body (an `evalWith(stamper, deltas...)` private
+// method) — the scalar eval() passes member deltas, evalBatch() passes
+// lane deltas — so FP contraction cannot round the two paths differently.
+// The generic Device::evalBatch fallback writes lane deltas onto the
+// device and calls scalar eval(), which is the scalar path by definition.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace psmn {
+
+class DeviceBatch;
+
+/// Per-device stamping context handed to Device::evalBatch. Carries one
+/// configured Stamper per lane, the active-lane mask, and the current
+/// device's SoA delta rows. Built and re-pointed by DeviceBatch::evalLanes.
+class DeviceBatchView {
+ public:
+  size_t laneCount() const { return lanes_; }
+  bool laneActive(size_t l) const { return active_[l] != 0; }
+  /// Lane l's accumulation target (iterate, time, f/q/G/C attachments are
+  /// all lane-specific; configured by the batch driver).
+  Stamper& lane(size_t l) const { return (*stampers_)[l]; }
+  /// Mismatch delta of the *current* device's parameter k in lane l.
+  /// Valid for k < device().mismatchCount().
+  Real delta(size_t k, size_t l) const { return deltas_[k * lanes_ + l]; }
+  /// Mutable handle used by the generic fallback to replay lane deltas
+  /// through the scalar eval(). Always the device being visited.
+  Device& device() const { return *current_; }
+
+ private:
+  friend class DeviceBatch;
+  std::vector<Stamper>* stampers_ = nullptr;
+  const unsigned char* active_ = nullptr;
+  const Real* deltas_ = nullptr;
+  Device* current_ = nullptr;
+  size_t lanes_ = 0;
+};
+
+/// Owns the SoA delta columns for `lanes` scenarios of one finalized
+/// netlist and drives the batched structural walk.
+class DeviceBatch {
+ public:
+  /// The netlist must be finalized; the batch indexes its device list.
+  DeviceBatch(Netlist& nl, size_t lanes);
+
+  size_t laneCount() const { return lanes_; }
+  Netlist& netlist() const { return *nl_; }
+
+  /// Snapshots every device's current mismatch deltas into lane l's
+  /// column. Call after configuring the netlist for scenario l (e.g. via
+  /// applyMismatchSample).
+  void captureLane(size_t l);
+  /// Writes lane l's column back onto the devices — used for the scalar
+  /// substeps of a batched run (DC init, q init) and for delegating a
+  /// failed lane to the scalar fallback.
+  void applyLane(size_t l) const;
+
+  /// Stored delta of device d's parameter k in lane l (test hook).
+  Real laneDelta(size_t d, size_t k, size_t l) const {
+    return deltas_[offsets_[d] + k * lanes_ + l];
+  }
+
+  /// One structural walk: visits every device once and stamps all lanes
+  /// with active[l] != 0 through Device::evalBatch. `stampers` must hold
+  /// one configured Stamper per lane. Counts Counter::kBatchEvals once.
+  void evalLanes(std::vector<Stamper>& stampers,
+                 const std::vector<unsigned char>& active) const;
+
+ private:
+  Netlist* nl_;
+  size_t lanes_;
+  std::vector<size_t> offsets_;  // per device: start of its SoA block
+  std::vector<size_t> counts_;   // per device: mismatchCount()
+  std::vector<Real> deltas_;
+};
+
+}  // namespace psmn

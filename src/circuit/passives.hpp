@@ -28,6 +28,7 @@ class Resistor : public Device {
   }
 
   void eval(Stamper& s) const override;
+  void evalBatch(DeviceBatchView& v) const override;
 
   size_t mismatchCount() const override { return sigma_ > 0.0 ? 1 : 0; }
   MismatchParam mismatchParam(size_t k) const override;
@@ -46,6 +47,10 @@ class Resistor : public Device {
   Real nominal() const { return ohms_; }
 
  private:
+  // Single compiled stamp body shared by eval() and evalBatch() so both
+  // paths round identically (see device_batch.hpp).
+  void evalWith(Stamper& s, Real delta) const;
+
   int a_, b_;
   Real ohms_;
   Real sigma_;
@@ -68,6 +73,7 @@ class Capacitor : public Device {
   }
 
   void eval(Stamper& s) const override;
+  void evalBatch(DeviceBatchView& v) const override;
 
   size_t mismatchCount() const override { return sigma_ > 0.0 ? 1 : 0; }
   MismatchParam mismatchParam(size_t k) const override;
@@ -80,6 +86,8 @@ class Capacitor : public Device {
   Real nominal() const { return farads_; }
 
  private:
+  void evalWith(Stamper& s, Real delta) const;
+
   int a_, b_;
   Real farads_;
   Real sigma_;
@@ -103,6 +111,7 @@ class Inductor : public Device {
     branch_ = alloc.allocate(name());
   }
   void eval(Stamper& s) const override;
+  void evalBatch(DeviceBatchView& v) const override;
 
   size_t mismatchCount() const override { return sigma_ > 0.0 ? 1 : 0; }
   MismatchParam mismatchParam(size_t k) const override;
@@ -115,6 +124,8 @@ class Inductor : public Device {
   int branchIndex() const { return branch_; }
 
  private:
+  void evalWith(Stamper& s, Real delta) const;
+
   int a_, b_;
   int branch_ = -1;
   Real henries_;

@@ -1,0 +1,64 @@
+// Scenario-batched transient evaluation.
+//
+// Drives N mismatch/sweep parameter lanes (a DeviceBatch) through one
+// lockstep fixed-grid transient: every Newton iteration performs ONE
+// structural device walk that stamps all still-iterating lanes
+// (Device::evalBatch SoA inner loops), against per-lane cached sparsity
+// patterns whose symbolic construction is amortized across the batch —
+// lane 0 runs the triplet discovery pass once and the other lanes copy
+// the resulting CSC skeleton (Counter::kBatchSymbolicReuse counts the
+// copies). Each lane keeps its OWN SparseLU (first full factor, then
+// refactor) because sharing pivot sequences across lanes would round
+// differently than the scalar path and break bit-identity.
+//
+// Everything around the device walk — step method selection, integration
+// coefficients, the Newton tail (assemble/factor/solve/clamp), the
+// accepted-step charge update, breakpoint segmentation, and failure
+// post-mortems — is the SAME compiled code the scalar runTransient uses
+// (the shared step-kernel pieces in engine/transient.hpp). Batched lane
+// results are therefore bit-identical to scalar runs by construction;
+// the scalar path stays the oracle (tests/test_batch_eval.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/device_batch.hpp"
+#include "engine/transient.hpp"
+
+namespace psmn {
+
+/// Batched-evaluation knob threaded through the sweep/MC drivers and the
+/// CLI (--batch). Scalar evaluation remains the default and the oracle.
+struct BatchOptions {
+  bool enabled = false;
+  /// Lanes per batch tile. Tiles are independent, so the sweep drivers
+  /// parallelize across tiles with the existing deterministic pool.
+  size_t lanes = 16;
+};
+
+/// Per-lane outcome of a batched transient. A failed lane carries the
+/// same error text and diagnostics the scalar runTransient would have
+/// thrown for that scenario; callers typically re-run failed lanes
+/// through the scalar path (which also re-runs any retry escalation).
+struct BatchLaneOutcome {
+  bool ok = false;
+  std::string error;
+  bool hasDiagnostics = false;
+  FailureDiagnostics diagnostics;
+  TransientResult result;
+};
+
+/// Runs all lanes of `batch` over [t0, t1] on the fixed dt grid.
+/// Restrictions versus runTransient: fixed grid only (!opt.adaptive) and
+/// per-lane DC initial conditions (opt.initialState == nullptr) — the
+/// statistical workloads this serves use exactly that configuration.
+/// Lane k's DC solve and q-init run scalar (batch.applyLane(k)), then the
+/// stepping loop advances every surviving lane in lockstep; a lane whose
+/// Newton dies drops out without disturbing the others.
+std::vector<BatchLaneOutcome> runTransientBatch(const MnaSystem& sys,
+                                                DeviceBatch& batch, Real t0,
+                                                Real t1, Real dt,
+                                                const TranOptions& opt);
+
+}  // namespace psmn

@@ -14,6 +14,8 @@ const char* counterName(Counter c) {
     case Counter::kStepsAccepted: return "steps_accepted";
     case Counter::kScenariosRun: return "scenarios_run";
     case Counter::kScenarioRetries: return "scenario_retries";
+    case Counter::kBatchEvals: return "batch_evals";
+    case Counter::kBatchSymbolicReuse: return "batch_symbolic_reuse";
     case Counter::kCount_: break;
   }
   return "unknown";

@@ -101,6 +101,8 @@ enum class Counter : uint8_t {
   kStepsAccepted,      // accepted integration steps
   kScenariosRun,       // scenario sweep: scenarios evaluated
   kScenarioRetries,    // scenario sweep: extra attempts taken
+  kBatchEvals,         // batched eval: structural walks stamping many lanes
+  kBatchSymbolicReuse, // batched eval: lanes that reused a shared pattern
   kCount_
 };
 inline constexpr size_t kNumCounters = static_cast<size_t>(Counter::kCount_);
